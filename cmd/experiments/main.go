@@ -1,0 +1,107 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig all  -size small          # everything (slow)
+//	experiments -fig 2    -size medium         # one figure
+//	experiments -fig 3 -workloads bfs,mummergpu
+//	experiments -list
+//
+// Output is a markdown-ish report: one table per figure, shaped like the
+// paper's plots (rows = workloads, columns = configurations, values =
+// speedup over the no-TLB baseline unless stated otherwise).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpummu/internal/config"
+	"gpummu/internal/experiments"
+	"gpummu/internal/workloads"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "all", "figure id (2,3,4,6,7,10,11,13,16,17,18,20,22,LP,EXT) or 'all'")
+		size     = flag.String("size", "small", "dataset scale: tiny|small|medium|large")
+		seed     = flag.Uint64("seed", 1, "workload generation seed")
+		wl       = flag.String("workloads", "", "comma-separated workload subset (default: paper's six)")
+		list     = flag.Bool("list", false, "list figures and exit")
+		verbose  = flag.Bool("v", false, "log every simulation run")
+		machine  = flag.String("machine", "baseline", "machine preset: baseline|small")
+		coresOvr = flag.Int("cores", 0, "override shader core count (0 = preset)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Print(experiments.Summary())
+		return
+	}
+
+	var sz workloads.Size
+	switch *size {
+	case "tiny":
+		sz = workloads.SizeTiny
+	case "small":
+		sz = workloads.SizeSmall
+	case "medium":
+		sz = workloads.SizeMedium
+	case "large":
+		sz = workloads.SizeLarge
+	default:
+		fatal("unknown -size %q", *size)
+	}
+
+	mk := config.Baseline
+	if *machine == "small" {
+		mk = config.SmallTest
+	}
+	machineFn := mk
+	if *coresOvr > 0 {
+		machineFn = func() config.Hardware {
+			c := mk()
+			c.NumCores = *coresOvr
+			return c
+		}
+	}
+
+	opt := experiments.Options{
+		Size:    sz,
+		Seed:    *seed,
+		Machine: machineFn,
+		Verbose: *verbose,
+	}
+	if *wl != "" {
+		opt.Workload = strings.Split(*wl, ",")
+	}
+	h := experiments.New(os.Stdout, opt)
+
+	if *fig == "all" {
+		if err := experiments.RunAll(h); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	id := *fig
+	if !strings.HasPrefix(id, "fig") {
+		id = "fig" + id
+	}
+	f, err := experiments.ByID(id)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("\n## %s — %s\n\nPaper: %s\n\n", f.ID, f.Title, f.Paper)
+	body, err := f.Run(h)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Println(body)
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,217 @@
+// Command gpusim runs one workload under one MMU/scheduler configuration
+// and prints the full statistics — the quickest way to poke at the design
+// space.
+//
+// Usage:
+//
+//	gpusim -workload bfs -size small -mmu augmented
+//	gpusim -workload mummergpu -mmu naive -ports 3 -sched ccws
+//	gpusim -workload memcached -mmu ideal -tbc tlb-aware -pages 2m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpummu/internal/config"
+	"gpummu/internal/gpu"
+	"gpummu/internal/stats"
+	"gpummu/internal/workloads"
+
+	"encoding/json"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "bfs", "workload name (see -list)")
+		size     = flag.String("size", "small", "tiny|small|medium|large")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		mmu      = flag.String("mmu", "none", "none|naive|nonblocking|augmented|ideal")
+		ports    = flag.Int("ports", 4, "TLB ports (naive/nonblocking/augmented)")
+		entries  = flag.Int("entries", 128, "TLB entries")
+		ptws     = flag.Int("ptws", 1, "hardware page table walkers per core")
+		sched    = flag.String("sched", "lrr", "lrr|gto|ccws|ta-ccws|tcws")
+		tbc      = flag.String("tbc", "off", "off|tbc|tlb-aware")
+		pages    = flag.String("pages", "4k", "4k|2m")
+		shared   = flag.Int("sharedtlb", 0, "shared L2 TLB entries (0 = off; extension)")
+		software = flag.Bool("software-walks", false, "service misses with OS handlers (extension)")
+		pwc      = flag.Int("pwc", 0, "page walk cache entries per core (0 = off; extension)")
+		cores    = flag.Int("cores", 0, "override core count (0 = 30)")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		asJSON   = flag.Bool("json", false, "emit statistics as JSON")
+		trace    = flag.Int("trace", 0, "dump the last N simulation events to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workloads.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	cfg := config.Baseline()
+	if *cores > 0 {
+		cfg.NumCores = *cores
+	}
+
+	switch *mmu {
+	case "none":
+	case "naive":
+		cfg.MMU = config.NaiveMMU(*ports)
+	case "nonblocking":
+		cfg.MMU = config.NaiveMMU(*ports)
+		cfg.MMU.HitsUnderMiss = true
+		cfg.MMU.CacheOverlap = true
+	case "augmented":
+		cfg.MMU = config.AugmentedMMU()
+		cfg.MMU.Ports = *ports
+	case "ideal":
+		cfg.MMU = config.MMU{}.Ideal()
+	default:
+		fatal("unknown -mmu %q", *mmu)
+	}
+	if cfg.MMU.Enabled {
+		cfg.MMU.Entries = *entries
+		cfg.MMU.NumPTWs = *ptws
+		cfg.MMU.SharedTLBEntries = *shared
+		cfg.MMU.PWCEntries = *pwc
+		if *software {
+			cfg.MMU.SoftwareWalks = true
+			cfg.MMU.SoftwareWalkOverhead = 300
+		}
+	}
+
+	switch *sched {
+	case "lrr":
+	case "gto":
+		cfg.Sched.Policy = config.SchedGTO
+	case "ccws":
+		cfg.Sched.Policy = config.SchedCCWS
+	case "ta-ccws":
+		cfg.Sched.Policy = config.SchedTACCWS
+		cfg.Sched.TLBMissWeight = 4
+	case "tcws":
+		cfg.Sched.Policy = config.SchedTCWS
+		cfg.Sched.TLBMissWeight = 4
+		cfg.Sched.VTAEntriesPerWarp = 8
+		cfg.Sched.LRUDepthWeights = []int{1, 2, 4, 8}
+	default:
+		fatal("unknown -sched %q", *sched)
+	}
+
+	switch *tbc {
+	case "off":
+	case "tbc":
+		cfg.TBC.Mode = config.DivTBC
+	case "tlb-aware":
+		cfg.TBC.Mode = config.DivTLBTBC
+	default:
+		fatal("unknown -tbc %q", *tbc)
+	}
+
+	if *pages == "2m" {
+		cfg.PageShift = 21
+	}
+
+	var sz workloads.Size
+	switch *size {
+	case "tiny":
+		sz = workloads.SizeTiny
+	case "small":
+		sz = workloads.SizeSmall
+	case "medium":
+		sz = workloads.SizeMedium
+	case "large":
+		sz = workloads.SizeLarge
+	default:
+		fatal("unknown -size %q", *size)
+	}
+
+	w, err := workloads.Build(*workload, sz, cfg.PageShift, *seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	st := &stats.Sim{}
+	g, err := gpu.New(cfg, w.AS, st)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var ring *gpu.RingTracer
+	if *trace > 0 {
+		ring = gpu.NewRingTracer(*trace)
+		g.SetTracer(ring)
+	}
+	cycles, err := g.Run(w.Launch)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if w.Check != nil {
+		if err := w.Check(); err != nil {
+			fatal("functional check: %v", err)
+		}
+	}
+	if *asJSON {
+		out := map[string]interface{}{
+			"workload":      *workload,
+			"size":          *size,
+			"cycles":        cycles,
+			"instructions":  st.Instructions.Value(),
+			"memFraction":   st.MemFraction(),
+			"idleFraction":  st.IdleFraction(),
+			"tlbAccesses":   st.TLBAccesses.Value(),
+			"tlbMissRate":   st.TLBMissRate(),
+			"tlbMissLat":    st.TLBMissLat.Mean(),
+			"l1MissRate":    st.L1MissRate(),
+			"l1MissLat":     st.L1MissLat.Mean(),
+			"l2MissRate":    st.L2MissRate(),
+			"pageDivAvg":    st.PageDivergence.Mean(),
+			"pageDivMax":    st.PageDivergence.Max(),
+			"walks":         st.Walks.Value(),
+			"walkRefs":      st.WalkRefs.Value(),
+			"walkRefsElim":  st.WalkRefsEliminated(),
+			"pwcHits":       st.PWCHits.Value(),
+			"sharedTLBHits": st.SharedTLBHits.Value(),
+			"compacted":     st.CompactedWarps.Value(),
+			"simdUtil":      st.SIMDUtilisation(cfg.WarpWidth),
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+	fmt.Println("functional check: ok")
+	inv := w.AS.PT.Inventory()
+	fmt.Printf("workload=%s size=%s cycles=%d\n", *workload, *size, cycles)
+	fmt.Printf("vm: mapped=%dMB pagetables=%dKB (%d pages) simd-util=%.1f%%\n",
+		inv.MappedBytes()>>20, inv.TableBytes()>>10, inv.TotalTablePages(),
+		100*st.SIMDUtilisation(cfg.WarpWidth))
+	fmt.Print(st.String())
+	fmt.Printf("l1: hits=%d misses=%d (%.1f%%)  l2: hits=%d misses=%d (%.1f%%)\n",
+		st.L1Hits, st.L1Misses, 100*st.L1MissRate(), st.L2Hits, st.L2Misses, 100*st.L2MissRate())
+	if cfg.MMU.Enabled {
+		fmt.Printf("tlb: hits=%d misses=%d hitsundermiss=%d walklat=%.0f\n",
+			st.TLBHits, st.TLBMisses, st.TLBHitUnder, st.WalkLat.Mean())
+		if st.SharedTLBAccesses > 0 {
+			fmt.Printf("shared-tlb: acc=%d hits=%d misses=%d\n",
+				st.SharedTLBAccesses, st.SharedTLBHits, st.SharedTLBMisses)
+		}
+	}
+	if cfg.TBC.Mode != config.DivStack {
+		fmt.Printf("tbc: compacted=%d cpm-rejects=%d\n", st.CompactedWarps, st.CPMRejects)
+	}
+	if ring != nil {
+		fmt.Fprintf(os.Stderr, "--- last %d of %d events ---\n", len(ring.Events()), ring.Total())
+		if err := ring.Dump(os.Stderr); err != nil {
+			fatal("%v", err)
+		}
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "gpusim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+// Large pages study (paper section 9): run scattered workloads with 4 KB
+// and 2 MB translation granularity and compare page divergence, miss
+// rates, and overheads. The paper's observation: large pages usually
+// collapse divergence, but far-flung access patterns (mummergpu, bfs)
+// still diverge because warp footprints span many megabytes.
+//
+//	go run ./examples/largepages
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpummu"
+)
+
+func main() {
+	workloads := []string{"kmeans", "bfs", "mummergpu"}
+	fmt.Printf("%-12s %10s %12s %12s %12s\n",
+		"workload", "pages", "pagediv", "tlb-miss", "overhead")
+	for _, w := range workloads {
+		for _, shift := range []uint{12, 21} {
+			cfg := gpummu.BaselineConfig()
+			cfg.NumCores = 8 // keep the example quick
+			cfg.PageShift = shift
+			cfg.MMU = gpummu.AugmentedMMU()
+			rep, err := gpummu.RunWorkload(w, gpummu.SizeTiny, cfg, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			base := cfg
+			base.MMU = gpummu.MMUConfig{Enabled: false}
+			baseRep, err := gpummu.RunWorkload(w, gpummu.SizeTiny, base, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+
+			name := "4K"
+			if shift == 21 {
+				name = "2M"
+			}
+			overhead := float64(rep.Cycles)/float64(baseRep.Cycles) - 1
+			fmt.Printf("%-12s %10s %12.2f %11.1f%% %11.1f%%\n",
+				w, name, rep.PageDivergence.Mean(), 100*rep.TLBMissRate(), 100*overhead)
+		}
+	}
+	fmt.Println("\n2 MB pages shrink the translation working set, but pointer-chasing")
+	fmt.Println("workloads keep nonzero divergence — the paper's section 9 caveat.")
+}

@@ -1,0 +1,3 @@
+module gpummu
+
+go 1.22

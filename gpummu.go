@@ -1,0 +1,176 @@
+// Package gpummu reproduces Pichai, Hsu & Bhattacharjee, "Architectural
+// Support for Address Translation on GPUs: Designing Memory Management
+// Units for CPU/GPUs with Unified Address Spaces" (ASPLOS 2014), as a
+// self-contained GPU timing simulator in pure Go.
+//
+// The public API wraps the internal simulator: pick a hardware
+// configuration (Config), a workload (one of the paper's six, or your own
+// kernel via the lower-level Launch path), run a Simulation, and read the
+// Report. The MMU design space of the paper — TLB size/ports, blocking vs
+// non-blocking miss handling, cache-overlapped translation, page table walk
+// scheduling, CCWS/TA-CCWS/TCWS warp scheduling, and (TLB-aware) thread
+// block compaction — is exposed through Config knobs.
+//
+// Quickstart:
+//
+//	cfg := gpummu.BaselineConfig()
+//	cfg.MMU = gpummu.AugmentedMMU()
+//	rep, err := gpummu.RunWorkload("bfs", gpummu.SizeSmall, cfg, 1)
+//	fmt.Println(rep.Cycles, rep.TLBMissRate())
+package gpummu
+
+import (
+	"fmt"
+
+	"gpummu/internal/config"
+	"gpummu/internal/gpu"
+	"gpummu/internal/kernels"
+	"gpummu/internal/stats"
+	"gpummu/internal/vm"
+	"gpummu/internal/workloads"
+)
+
+// Config is the full machine configuration (hardware + policies).
+type Config = config.Hardware
+
+// MMUConfig configures the per-core TLB and page table walkers.
+type MMUConfig = config.MMU
+
+// SchedulerConfig configures warp scheduling and the CCWS family.
+type SchedulerConfig = config.Scheduler
+
+// TBCConfig configures thread block compaction.
+type TBCConfig = config.TBC
+
+// Size selects a workload dataset scale.
+type Size = workloads.Size
+
+// Dataset scales, re-exported from internal/workloads.
+const (
+	SizeTiny   = workloads.SizeTiny
+	SizeSmall  = workloads.SizeSmall
+	SizeMedium = workloads.SizeMedium
+	SizeLarge  = workloads.SizeLarge
+)
+
+// Scheduler policies, re-exported from internal/config.
+const (
+	SchedLRR    = config.SchedLRR
+	SchedGTO    = config.SchedGTO
+	SchedCCWS   = config.SchedCCWS
+	SchedTACCWS = config.SchedTACCWS
+	SchedTCWS   = config.SchedTCWS
+)
+
+// Divergence handling modes, re-exported from internal/config.
+const (
+	DivStack  = config.DivStack
+	DivTBC    = config.DivTBC
+	DivTLBTBC = config.DivTLBTBC
+)
+
+// BaselineConfig returns the paper's section 5.2 machine with no TLB (the
+// normalisation baseline for every figure).
+func BaselineConfig() Config { return config.Baseline() }
+
+// SmallConfig returns a scaled-down machine for tests and quick sweeps.
+func SmallConfig() Config { return config.SmallTest() }
+
+// NaiveMMU returns the strawman CPU-style MMU: 128-entry 4-way blocking
+// TLB with the given port count and one serial walker per core.
+func NaiveMMU(ports int) MMUConfig { return config.NaiveMMU(ports) }
+
+// AugmentedMMU returns the paper's recommended MMU: 128-entry 4-port TLB
+// with hits-under-miss, cache-overlapped translation, and PTW scheduling.
+func AugmentedMMU() MMUConfig { return config.AugmentedMMU() }
+
+// IdealMMU returns the impractical reference design: 512 entries, 32
+// ports, no access-latency penalty, fully augmented.
+func IdealMMU() MMUConfig { return config.MMU{}.Ideal() }
+
+// WorkloadNames returns all registered workloads.
+func WorkloadNames() []string { return workloads.Names() }
+
+// PaperWorkloads returns the paper's six workloads in figure order.
+func PaperWorkloads() []string { return workloads.PaperSet() }
+
+// Report is the outcome of one simulation: every statistic the paper's
+// figures draw from. It embeds the raw statistics and records the
+// workload/config identity.
+type Report struct {
+	stats.Sim
+	Workload string
+	Verified bool // functional check ran and passed
+}
+
+// Speedup returns this run's speedup relative to a baseline run of the
+// same workload (baseline cycles / our cycles), the normalisation used by
+// every figure in the paper.
+func (r *Report) Speedup(baseline *Report) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Cycles) / float64(r.Cycles)
+}
+
+// RunWorkload builds the named workload at the given scale and runs it on
+// a machine with cfg, returning the report. The workload's functional
+// check runs afterwards; a check failure is an error (the simulator must
+// compute real results, not just traffic).
+func RunWorkload(name string, size Size, cfg Config, seed uint64) (*Report, error) {
+	w, err := workloads.Build(name, size, cfg.PageShift, seed)
+	if err != nil {
+		return nil, err
+	}
+	return RunBuilt(w, cfg)
+}
+
+// RunBuilt runs an already-constructed workload (from BuildWorkload) on a
+// machine with cfg. The same built workload must not be reused across runs
+// because kernels mutate their data.
+func RunBuilt(w *workloads.Workload, cfg Config) (*Report, error) {
+	st := &stats.Sim{}
+	g, err := gpu.New(cfg, w.AS, st)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.Run(w.Launch); err != nil {
+		return nil, fmt.Errorf("gpummu: running %s: %w", w.Name, err)
+	}
+	rep := &Report{Sim: *st, Workload: w.Name}
+	if w.Check != nil {
+		if err := w.Check(); err != nil {
+			return nil, fmt.Errorf("gpummu: functional check failed: %w", err)
+		}
+		rep.Verified = true
+	}
+	return rep, nil
+}
+
+// BuildWorkload constructs a workload without running it, for callers that
+// want to inspect or reuse the construction path.
+func BuildWorkload(name string, size Size, pageShift uint, seed uint64) (*workloads.Workload, error) {
+	return workloads.Build(name, size, pageShift, seed)
+}
+
+// RunKernel executes a custom kernel launch over the given address space
+// with cfg, for users building their own workloads against the public ISA
+// in internal/kernels (re-exported by examples).
+func RunKernel(cfg Config, as *vm.AddressSpace, l *kernels.Launch) (*Report, error) {
+	st := &stats.Sim{}
+	g, err := gpu.New(cfg, as, st)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.Run(l); err != nil {
+		return nil, err
+	}
+	return &Report{Sim: *st, Workload: l.Program.Name}, nil
+}
+
+// NewAddressSpace creates a fresh simulated address space for custom
+// kernels: sparse physical memory, a scrambled frame allocator, and an
+// x86-64 page table. pageShift is 12 (4 KB) or 21 (2 MB).
+func NewAddressSpace(pageShift uint) *vm.AddressSpace {
+	return vm.NewAddressSpace(vm.NewPhysMem(), vm.NewFrameAllocator(1<<23), pageShift)
+}

@@ -1,0 +1,360 @@
+// Package config defines the hardware and policy configuration space the
+// paper explores, plus presets matching its section 5.2 methodology. It has
+// no dependencies so every subsystem can import it.
+package config
+
+import "fmt"
+
+// SchedulerPolicy selects the warp scheduler.
+type SchedulerPolicy uint8
+
+const (
+	// SchedLRR is loose round-robin, the paper's baseline scheduler.
+	SchedLRR SchedulerPolicy = iota
+	// SchedGTO is greedy-then-oldest, a common alternative baseline.
+	SchedGTO
+	// SchedCCWS is cache-conscious wavefront scheduling (Rogers et al.),
+	// with cache-line victim tag arrays (paper section 7.1).
+	SchedCCWS
+	// SchedTACCWS is TLB-aware CCWS: lost-locality scores weight cache
+	// misses accompanied by TLB misses more heavily (section 7.2).
+	SchedTACCWS
+	// SchedTCWS is TLB-conscious warp scheduling: VTAs hold virtual page
+	// tags, probed on TLB misses, with LRU-depth-weighted score updates
+	// on TLB hits (section 7.2).
+	SchedTCWS
+)
+
+// String implements fmt.Stringer.
+func (p SchedulerPolicy) String() string {
+	switch p {
+	case SchedLRR:
+		return "lrr"
+	case SchedGTO:
+		return "gto"
+	case SchedCCWS:
+		return "ccws"
+	case SchedTACCWS:
+		return "ta-ccws"
+	case SchedTCWS:
+		return "tcws"
+	}
+	return fmt.Sprintf("sched(%d)", p)
+}
+
+// DivergenceMode selects branch divergence handling.
+type DivergenceMode uint8
+
+const (
+	// DivStack is the classic per-warp reconvergence stack.
+	DivStack DivergenceMode = iota
+	// DivTBC is thread block compaction (Fung & Aamodt), TLB-agnostic.
+	DivTBC
+	// DivTLBTBC is the paper's TLB-aware TBC with CPM-gated compaction.
+	DivTLBTBC
+)
+
+// String implements fmt.Stringer.
+func (d DivergenceMode) String() string {
+	switch d {
+	case DivStack:
+		return "stack"
+	case DivTBC:
+		return "tbc"
+	case DivTLBTBC:
+		return "tlb-tbc"
+	}
+	return fmt.Sprintf("div(%d)", d)
+}
+
+// MMU configures the per-core TLB and page table walkers: the paper's
+// design space (section 6.1).
+type MMU struct {
+	// Enabled false gives the paper's no-TLB baseline: translation is
+	// functionally correct but costs zero cycles.
+	Enabled bool
+
+	Entries int // total TLB entries (64..512 in the paper)
+	Assoc   int // set associativity (paper assumes 4-way)
+	Ports   int // lookups the TLB can start per cycle (3..32)
+
+	// IdealLatency disables the CACTI-style access-time penalty so the
+	// "impractical ideal" 512-entry 32-port configuration can be modelled.
+	IdealLatency bool
+
+	// HitsUnderMiss allows other warps' TLB hits while misses are pending
+	// (first non-blocking augmentation, section 6.3).
+	HitsUnderMiss bool
+	// CacheOverlap lets lanes that hit in the TLB access the L1 without
+	// waiting for the warp's outstanding walks (second augmentation).
+	CacheOverlap bool
+	// PTWSched enables the coalescing page-table-walk scheduler
+	// (comparator-tree batching, section 6.3).
+	PTWSched bool
+
+	NumPTWs int // hardware walkers per core (paper: 1 baseline, up to 8)
+	MSHRs   int // TLB miss-status registers per core (paper: 32)
+
+	// SharedTLBEntries, when nonzero, adds a chip-level shared L2 TLB of
+	// that many entries (4-way) probed on per-core misses before walking —
+	// an extension in the paper's section 10 follow-up direction.
+	SharedTLBEntries int
+	// SharedTLBLatency is the round-trip cost of probing the shared tier.
+	SharedTLBLatency int
+
+	// PWCEntries, when nonzero, gives each walker a page walk cache of
+	// that many entries holding upper-level PTEs (PML4/PDP/PD), skipping
+	// their memory references on a hit — the translation-caching direction
+	// of Barr et al. (ISCA 2010), an extension beyond the paper's designs.
+	PWCEntries int
+
+	// SoftwareWalks services TLB misses by interrupting execution and
+	// running an OS handler instead of using hardware walkers — the
+	// section 6.1 design option the paper rejects. Each walk pays
+	// SoftwareWalkOverhead cycles on top of its memory references, and the
+	// TLB behaves as fully blocking regardless of HitsUnderMiss.
+	SoftwareWalks        bool
+	SoftwareWalkOverhead int
+
+	// WalkConcurrency is how many outstanding walks one hardware walker
+	// pipelines (walk state registers). The paper's quantitative results
+	// (figure 2's 20-50% degradations at 22-70% miss rates, figure 4's
+	// ~2x miss penalty) are only reachable if a walker overlaps a few
+	// walks; fully serial walkers would saturate and produce far deeper
+	// losses. 4 reproduces the paper's operating point. See DESIGN.md.
+	WalkConcurrency int
+}
+
+// Ideal returns the impractical reference TLB the paper compares against:
+// 512 entries, 32 ports, no access-latency penalty, fully augmented.
+func (m MMU) Ideal() MMU {
+	m.Enabled = true
+	m.Entries = 512
+	m.Ports = 32
+	m.IdealLatency = true
+	m.HitsUnderMiss = true
+	m.CacheOverlap = true
+	m.PTWSched = true
+	if m.Assoc == 0 {
+		m.Assoc = 4
+	}
+	if m.NumPTWs == 0 {
+		m.NumPTWs = 1
+	}
+	if m.MSHRs == 0 {
+		m.MSHRs = 32
+	}
+	if m.WalkConcurrency == 0 {
+		m.WalkConcurrency = 4
+	}
+	return m
+}
+
+// AccessPenalty returns the extra cycles a TLB of this size adds to every
+// L1 access (translation must complete by set-select time). The numbers
+// follow the paper's CACTI finding: 128 entries is the largest size that
+// does not slow a 32 KB L1 down.
+func (m MMU) AccessPenalty() int {
+	if !m.Enabled || m.IdealLatency {
+		return 0
+	}
+	switch {
+	case m.Entries <= 128:
+		return 0
+	case m.Entries <= 256:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// Scheduler configures warp scheduling and the CCWS family.
+type Scheduler struct {
+	Policy SchedulerPolicy
+
+	// VTAEntriesPerWarp and VTAAssoc size the victim tag arrays
+	// (paper: 16-entry, 8-way for CCWS; TCWS sweeps 2..16).
+	VTAEntriesPerWarp int
+	VTAAssoc          int
+
+	// LLSCutoff is the lost-locality score sum beyond which the
+	// scheduling pool is restricted.
+	LLSCutoff int
+	// ActivePool is how many top-scoring warps stay schedulable while
+	// restricted.
+	ActivePool int
+	// DecayPeriod halves all scores every this many cycles so throttling
+	// releases when locality recovers.
+	DecayPeriod int
+
+	// TLBMissWeight is TA-CCWS's x in x:1 weighting of cache misses that
+	// carry TLB misses (power of two; 1 disables the distinction).
+	TLBMissWeight int
+
+	// LRUDepthWeights are TCWS's per-LRU-depth score increments on TLB
+	// hits (e.g. {1,2,4,8}); nil disables hit-based updates.
+	LRUDepthWeights []int
+}
+
+// TBC configures thread block compaction.
+type TBC struct {
+	Mode DivergenceMode
+
+	// CPMBits is the width of the Common Page Matrix saturating counters
+	// (1..3 in the paper's figure 22).
+	CPMBits int
+	// CPMFlushPeriod is how often the CPM is cleared (paper: 500 cycles).
+	CPMFlushPeriod int
+	// CPMHistory is the per-TLB-entry warp history length (paper: 2).
+	CPMHistory int
+}
+
+// Hardware is the full machine configuration.
+type Hardware struct {
+	NumCores     int // shader cores (paper: 30)
+	WarpsPerCore int // concurrent warps per core (paper: 48)
+	WarpWidth    int // threads per warp (paper: 32)
+	IssueWidth   int // SIMD pipeline width in lanes (paper: 8); a 32-thread
+	// warp instruction occupies the issue stage for WarpWidth/IssueWidth
+	// cycles, capping per-core issue throughput the way GPGPU-Sim does
+
+	// L1 data cache (virtually indexed, physically tagged).
+	L1Bytes    int // paper: 32 KB
+	L1LineSize int // paper: 128 B
+	L1Assoc    int
+	L1Latency  int // hit latency in cycles
+	L1MSHRs    int // outstanding L1 misses per core (flow control)
+
+	// Shared L2, sliced across memory partitions.
+	NumPartitions  int // paper: 8 channels
+	L2BytesPerPart int // paper: 128 KB
+	L2Assoc        int
+	L2Latency      int
+	ICNTLatency    int // interconnect one-way latency
+	DRAMLatency    int
+	DRAMBusy       int // channel occupancy per access (bandwidth model)
+
+	PageShift uint // 12 for 4 KB pages, 21 for 2 MB pages
+
+	MMU   MMU
+	Sched Scheduler
+	TBC   TBC
+}
+
+// IssuePeriod returns the cycles one warp instruction occupies the issue
+// stage: WarpWidth lanes drained through an IssueWidth-wide pipeline.
+func (h *Hardware) IssuePeriod() int {
+	p := h.WarpWidth / h.IssueWidth
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// Validate reports configuration errors early.
+func (h *Hardware) Validate() error {
+	switch {
+	case h.NumCores < 1:
+		return fmt.Errorf("config: NumCores %d < 1", h.NumCores)
+	case h.WarpWidth < 1 || h.WarpWidth > 64:
+		return fmt.Errorf("config: WarpWidth %d out of range", h.WarpWidth)
+	case h.WarpsPerCore < 1:
+		return fmt.Errorf("config: WarpsPerCore %d < 1", h.WarpsPerCore)
+	case h.L1Bytes%(h.L1LineSize*h.L1Assoc) != 0:
+		return fmt.Errorf("config: L1 geometry %d/%d/%d invalid", h.L1Bytes, h.L1LineSize, h.L1Assoc)
+	case h.PageShift != 12 && h.PageShift != 21:
+		return fmt.Errorf("config: PageShift %d unsupported", h.PageShift)
+	}
+	if h.MMU.Enabled {
+		if h.MMU.Entries < h.MMU.Assoc || h.MMU.Assoc < 1 {
+			return fmt.Errorf("config: TLB geometry %d entries/%d-way invalid", h.MMU.Entries, h.MMU.Assoc)
+		}
+		if h.MMU.Ports < 1 || h.MMU.NumPTWs < 1 || h.MMU.MSHRs < 1 {
+			return fmt.Errorf("config: MMU ports/PTWs/MSHRs must be >= 1")
+		}
+	}
+	return nil
+}
+
+// Baseline returns the paper's section 5.2 machine: 30 SIMT cores, 32-thread
+// warps, issue width 8, 32 KB L1 with 128 B lines, 8 memory partitions with
+// 128 KB L2 each — with no TLB (the baseline every speedup is normalised to).
+func Baseline() Hardware {
+	return Hardware{
+		NumCores:     30,
+		WarpsPerCore: 48,
+		WarpWidth:    32,
+		IssueWidth:   8,
+
+		L1Bytes:    32 << 10,
+		L1LineSize: 128,
+		L1Assoc:    8,
+		L1Latency:  1,
+		L1MSHRs:    32,
+
+		NumPartitions:  8,
+		L2BytesPerPart: 128 << 10,
+		L2Assoc:        8,
+		L2Latency:      20,
+		ICNTLatency:    10,
+		DRAMLatency:    200,
+		DRAMBusy:       8,
+
+		PageShift: 12,
+
+		MMU: MMU{Enabled: false},
+		Sched: Scheduler{
+			Policy:            SchedLRR,
+			VTAEntriesPerWarp: 16,
+			VTAAssoc:          8,
+			LLSCutoff:         64,
+			ActivePool:        8,
+			DecayPeriod:       4096,
+			TLBMissWeight:     1,
+		},
+		TBC: TBC{
+			Mode:           DivStack,
+			CPMBits:        3,
+			CPMFlushPeriod: 500,
+			CPMHistory:     2,
+		},
+	}
+}
+
+// NaiveMMU is the strawman CPU-style design of section 6.2: 128-entry,
+// 4-way TLB with one walker, fully blocking, no walk scheduling. ports is
+// 3 in figure 2 and 4 thereafter.
+func NaiveMMU(ports int) MMU {
+	return MMU{
+		Enabled:         true,
+		Entries:         128,
+		Assoc:           4,
+		Ports:           ports,
+		NumPTWs:         1,
+		MSHRs:           32,
+		WalkConcurrency: 4,
+	}
+}
+
+// AugmentedMMU is the paper's recommended design: naive 128-entry 4-port
+// TLB plus hits-under-miss, cache overlap, and PTW scheduling, still with
+// a single walker (end of section 6.3).
+func AugmentedMMU() MMU {
+	m := NaiveMMU(4)
+	m.HitsUnderMiss = true
+	m.CacheOverlap = true
+	m.PTWSched = true
+	return m
+}
+
+// SmallTest returns a scaled-down machine for fast unit tests: 4 cores,
+// 8 warps each, small caches. Policy knobs mirror Baseline.
+func SmallTest() Hardware {
+	h := Baseline()
+	h.NumCores = 4
+	h.WarpsPerCore = 8
+	h.L1Bytes = 8 << 10
+	h.L2BytesPerPart = 32 << 10
+	h.NumPartitions = 2
+	return h
+}

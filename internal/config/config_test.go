@@ -1,0 +1,121 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaselineMatchesPaperMethodology(t *testing.T) {
+	h := Baseline()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Section 5.2: 30 SIMT cores, 32-thread warps, pipeline width 8,
+	// 32 KB L1 with 128 B lines, 8 channels with 128 KB L2 each.
+	if h.NumCores != 30 || h.WarpWidth != 32 || h.IssueWidth != 8 {
+		t.Fatalf("core geometry: %+v", h)
+	}
+	if h.L1Bytes != 32<<10 || h.L1LineSize != 128 {
+		t.Fatalf("L1 geometry: %+v", h)
+	}
+	if h.NumPartitions != 8 || h.L2BytesPerPart != 128<<10 {
+		t.Fatalf("L2 geometry: %+v", h)
+	}
+	if h.MMU.Enabled {
+		t.Fatal("baseline must be the no-TLB machine")
+	}
+}
+
+func TestNaiveMMUMatchesStrawman(t *testing.T) {
+	m := NaiveMMU(3)
+	// Section 6.2: 128-entry TLB, 1 PTW, blocking, no PTW scheduling.
+	if m.Entries != 128 || m.Ports != 3 || m.NumPTWs != 1 || m.MSHRs != 32 {
+		t.Fatalf("naive = %+v", m)
+	}
+	if m.HitsUnderMiss || m.CacheOverlap || m.PTWSched {
+		t.Fatal("naive MMU has augmentations enabled")
+	}
+}
+
+func TestAugmentedMMU(t *testing.T) {
+	m := AugmentedMMU()
+	if !m.HitsUnderMiss || !m.CacheOverlap || !m.PTWSched {
+		t.Fatalf("augmented = %+v", m)
+	}
+	if m.NumPTWs != 1 {
+		t.Fatal("the paper's recommended design uses a single walker")
+	}
+}
+
+func TestIdealFillsDefaults(t *testing.T) {
+	m := MMU{}.Ideal()
+	if m.Entries != 512 || m.Ports != 32 || !m.IdealLatency {
+		t.Fatalf("ideal = %+v", m)
+	}
+	if m.Assoc == 0 || m.NumPTWs == 0 || m.MSHRs == 0 {
+		t.Fatal("ideal left zero fields")
+	}
+	// Idealising an existing config keeps its structural fields.
+	n := NaiveMMU(4)
+	n.Assoc = 8
+	if got := n.Ideal(); got.Assoc != 8 {
+		t.Fatal("Ideal clobbered Assoc")
+	}
+}
+
+func TestAccessPenaltyTiers(t *testing.T) {
+	for _, c := range []struct {
+		entries, want int
+	}{{64, 0}, {128, 0}, {256, 4}, {512, 8}} {
+		m := NaiveMMU(4)
+		m.Entries = c.entries
+		if got := m.AccessPenalty(); got != c.want {
+			t.Errorf("%d entries: %d, want %d", c.entries, got, c.want)
+		}
+	}
+	if (MMU{}).AccessPenalty() != 0 {
+		t.Error("disabled MMU has penalty")
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	bad := []func(*Hardware){
+		func(h *Hardware) { h.NumCores = 0 },
+		func(h *Hardware) { h.WarpWidth = 0 },
+		func(h *Hardware) { h.WarpsPerCore = 0 },
+		func(h *Hardware) { h.L1Bytes = 1000 },
+		func(h *Hardware) { h.PageShift = 13 },
+		func(h *Hardware) { h.MMU = NaiveMMU(0) },
+		func(h *Hardware) { m := NaiveMMU(4); m.Assoc = 0; h.MMU = m },
+	}
+	for i, mut := range bad {
+		h := Baseline()
+		mut(&h)
+		if err := h.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, p := range []SchedulerPolicy{SchedLRR, SchedGTO, SchedCCWS, SchedTACCWS, SchedTCWS} {
+		if strings.Contains(p.String(), "sched(") {
+			t.Errorf("policy %d has no name", p)
+		}
+	}
+	for _, d := range []DivergenceMode{DivStack, DivTBC, DivTLBTBC} {
+		if strings.Contains(d.String(), "div(") {
+			t.Errorf("mode %d has no name", d)
+		}
+	}
+}
+
+func TestSmallTestValid(t *testing.T) {
+	h := SmallTest()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumCores >= Baseline().NumCores {
+		t.Fatal("SmallTest is not smaller than Baseline")
+	}
+}

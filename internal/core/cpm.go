@@ -1,0 +1,84 @@
+package core
+
+import "gpummu/internal/engine"
+
+// CPM is the Common Page Matrix of TLB-aware thread block compaction
+// (paper section 8.2): a table with one row per warp and, per row, a
+// saturating counter for every other warp. A counter records how often the
+// two warps have recently accessed the same PTEs; compaction only merges
+// threads from warp pairs whose counters are saturated. The matrix is
+// periodically flushed (paper: every 500 cycles) so it adapts to phase
+// changes. All updates happen off the critical path of warp formation.
+type CPM struct {
+	n         int
+	max       uint8
+	counters  []uint8 // n*n, row-major; diagonal unused
+	flushEach engine.Cycle
+	lastFlush engine.Cycle
+}
+
+// NewCPM builds a matrix for n warps with bits-wide counters (1..3 in the
+// paper's figure 22) flushed every flushPeriod cycles.
+func NewCPM(n, bits int, flushPeriod int) *CPM {
+	if bits < 1 || bits > 8 {
+		panic("core: CPM counter bits out of range")
+	}
+	return &CPM{
+		n:         n,
+		max:       uint8(1<<bits - 1),
+		counters:  make([]uint8, n*n),
+		flushEach: engine.Cycle(flushPeriod),
+	}
+}
+
+// MaybeFlush clears the matrix if the flush period has elapsed.
+func (c *CPM) MaybeFlush(now engine.Cycle) {
+	if c.flushEach == 0 || now-c.lastFlush < c.flushEach {
+		return
+	}
+	for i := range c.counters {
+		c.counters[i] = 0
+	}
+	c.lastFlush = now
+}
+
+func (c *CPM) bump(a, b int) {
+	if a == b || a < 0 || b < 0 || a >= c.n || b >= c.n {
+		return
+	}
+	i := a*c.n + b
+	if c.counters[i] < c.max {
+		c.counters[i]++
+	}
+}
+
+// OnTLBHit records that warp hit a TLB entry previously touched by the
+// warps in history (the per-entry history field maintained by the TLB).
+// Counters are updated symmetrically.
+func (c *CPM) OnTLBHit(warp int, history []int16) {
+	for _, h := range history {
+		c.bump(warp, int(h))
+		c.bump(int(h), warp)
+	}
+}
+
+// Saturated reports whether the counter between warps a and b is at
+// maximum — the admission condition for compacting their threads together.
+// A warp is always compatible with itself.
+func (c *CPM) Saturated(a, b int) bool {
+	if a == b {
+		return true
+	}
+	if a < 0 || b < 0 || a >= c.n || b >= c.n {
+		return false
+	}
+	return c.counters[a*c.n+b] == c.max
+}
+
+// Counter exposes the raw counter value (diagnostics and tests).
+func (c *CPM) Counter(a, b int) uint8 {
+	if a < 0 || b < 0 || a >= c.n || b >= c.n || a == b {
+		return 0
+	}
+	return c.counters[a*c.n+b]
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"gpummu/internal/config"
+	"gpummu/internal/engine"
+	"gpummu/internal/mem"
+	"gpummu/internal/stats"
+	"gpummu/internal/vm"
+)
+
+// PageReq is one distinct virtual page referenced by a warp memory
+// instruction after coalescing (the paper coalesces intra-warp requests to
+// the same PTE into a single TLB lookup).
+type PageReq struct {
+	VPN uint64
+	// Warps lists the original warp IDs of the requesting threads
+	// (normally one; several after thread block compaction). They feed
+	// the TLB entry history and the Common Page Matrix.
+	Warps []int
+}
+
+// PageResult reports the outcome of translating one PageReq.
+type PageResult struct {
+	VPN      uint64
+	PBase    uint64
+	ReadyAt  engine.Cycle // cycle the translation is available to the LSU
+	Hit      bool
+	Merged   bool // miss merged into an already-outstanding walk
+	LRUDepth int  // LRU stack depth of the hit (TCWS weighting); -1 on miss
+}
+
+type outWalk struct {
+	vpn  uint64
+	done engine.Cycle
+}
+
+// MMU is one shader core's memory management unit: TLB, MSHRs, and page
+// table walker(s), in all the paper's configurations. A disabled MMU
+// models the no-TLB baseline: translation is functionally exact and free.
+type MMU struct {
+	cfg config.MMU
+	sys *mem.System
+	tr  *vm.Translator
+	st  *stats.Sim
+
+	tlb   *TLB
+	ports *engine.Resource
+
+	// Serial walkers: next-free cycle per hardware PTW.
+	walkers []engine.Cycle
+	// Scheduled mode: the single walker's reference issue port and the
+	// PTE reuse table (combinational MSHR scan in hardware).
+	issuePort engine.Cycle
+	reuse     map[uint64]engine.Cycle
+
+	outstanding []outWalk
+	pending     map[uint64]engine.Cycle // vpn -> walk completion
+
+	cpm      *CPM         // non-nil only under TLB-aware TBC
+	shared   *SharedTLB   // non-nil only with the shared-L2-TLB extension
+	pwc      *PWC         // non-nil only with the page-walk-cache extension
+	swWalker engine.Cycle // software-walk serialisation (the core runs the handler)
+}
+
+// NewMMU builds the MMU for one core. tr must be the address space's
+// translator; sys the shared memory system; st the run's statistics sink.
+func NewMMU(cfg config.MMU, sys *mem.System, tr *vm.Translator, st *stats.Sim, histLen int) *MMU {
+	m := &MMU{cfg: cfg, sys: sys, tr: tr, st: st}
+	if cfg.Enabled {
+		m.tlb = NewTLB(cfg.Entries, cfg.Assoc, histLen)
+		m.ports = engine.NewResource(cfg.Ports)
+		wc := cfg.WalkConcurrency
+		if wc < 1 {
+			wc = 1
+		}
+		// Each hardware walker pipelines wc outstanding walks; a walk
+		// occupies one of its walk-state slots for its full duration.
+		m.walkers = make([]engine.Cycle, cfg.NumPTWs*wc)
+		m.reuse = make(map[uint64]engine.Cycle)
+		m.pending = make(map[uint64]engine.Cycle)
+		if cfg.PWCEntries > 0 {
+			m.pwc = NewPWC(cfg.PWCEntries)
+		}
+	}
+	return m
+}
+
+// Config returns the MMU configuration.
+func (m *MMU) Config() config.MMU { return m.cfg }
+
+// TLB exposes the TLB (nil when disabled) for eviction hooks and tests.
+func (m *MMU) TLB() *TLB { return m.tlb }
+
+// AttachCPM wires a Common Page Matrix so TLB hits update it.
+func (m *MMU) AttachCPM(c *CPM) { m.cpm = c }
+
+// AttachSharedTLB wires the chip-level shared TLB extension: per-core
+// misses probe it before walking, and walks fill it.
+func (m *MMU) AttachSharedTLB(s *SharedTLB) { m.shared = s }
+
+// AccessPenalty returns the extra cycles this TLB adds to every L1 access.
+func (m *MMU) AccessPenalty() engine.Cycle {
+	return engine.Cycle(m.cfg.AccessPenalty())
+}
+
+// prune retires completed walks and, when the walker goes idle, clears the
+// PTE reuse window (the batch has dispersed).
+func (m *MMU) prune(now engine.Cycle) {
+	live := m.outstanding[:0]
+	for _, w := range m.outstanding {
+		if w.done > now {
+			live = append(live, w)
+		} else {
+			delete(m.pending, w.vpn)
+		}
+	}
+	m.outstanding = live
+	if len(m.outstanding) == 0 && len(m.reuse) > 0 {
+		clear(m.reuse)
+	}
+}
+
+// CanAcceptMemOp reports whether a memory instruction may begin address
+// translation at cycle now. A blocking TLB (the naive design) refuses while
+// any walk is outstanding; hits-under-miss lifts that restriction.
+func (m *MMU) CanAcceptMemOp(now engine.Cycle) bool {
+	if !m.cfg.Enabled {
+		return true
+	}
+	m.prune(now)
+	blocking := !m.cfg.HitsUnderMiss || m.cfg.SoftwareWalks
+	if blocking && len(m.outstanding) > 0 {
+		return false
+	}
+	return true
+}
+
+// NextEvent returns the earliest cycle at which an outstanding walk
+// completes (and the blocking gate may open), or 0 when none are in flight.
+func (m *MMU) NextEvent(now engine.Cycle) engine.Cycle {
+	if !m.cfg.Enabled {
+		return 0
+	}
+	m.prune(now)
+	var earliest engine.Cycle
+	for _, w := range m.outstanding {
+		if earliest == 0 || w.done < earliest {
+			earliest = w.done
+		}
+	}
+	return earliest
+}
+
+// OutstandingWalks reports in-flight walk count (diagnostics and tests).
+func (m *MMU) OutstandingWalks(now engine.Cycle) int {
+	m.prune(now)
+	return len(m.outstanding)
+}
+
+// Lookup translates a warp's distinct page requests at cycle now. Results
+// carry the cycle each translation becomes available; the LSU overlaps or
+// serialises cache access around them according to the non-blocking flags.
+func (m *MMU) Lookup(now engine.Cycle, reqs []PageReq) []PageResult {
+	res := make([]PageResult, len(reqs))
+	if !m.cfg.Enabled {
+		for i, r := range reqs {
+			tr := m.tr.Lookup(r.VPN << m.tr.PageShift())
+			res[i] = PageResult{VPN: r.VPN, PBase: tr.PageBase(), ReadyAt: now, Hit: true}
+		}
+		return res
+	}
+	m.prune(now)
+	if m.cpm != nil {
+		m.cpm.MaybeFlush(now)
+	}
+	for i, r := range reqs {
+		m.st.TLBAccesses.Inc()
+		lookupAt := m.ports.Acquire(now, 1)
+		warp0 := -1
+		if len(r.Warps) > 0 {
+			warp0 = r.Warps[0]
+		}
+		if info, ok := m.tlb.Lookup(lookupAt, r.VPN, warp0); ok {
+			m.st.TLBHits.Inc()
+			if len(m.outstanding) > 0 {
+				m.st.TLBHitUnder.Inc()
+			}
+			if m.cpm != nil {
+				for _, w := range r.Warps {
+					m.cpm.OnTLBHit(w, info.History)
+				}
+			}
+			res[i] = PageResult{VPN: r.VPN, PBase: info.PBase, ReadyAt: lookupAt, Hit: true, LRUDepth: info.LRUDepth}
+			continue
+		}
+		m.st.TLBMisses.Inc()
+		tr := m.tr.Lookup(r.VPN << m.tr.PageShift())
+		var done engine.Cycle
+		merged := false
+		if d, ok := m.pending[r.VPN]; ok {
+			done = d
+			merged = true
+		} else {
+			reqAt := lookupAt
+			// MSHR exhaustion delays the walk until the oldest
+			// outstanding miss retires.
+			if len(m.outstanding) >= m.cfg.MSHRs {
+				earliest := m.outstanding[0].done
+				for _, w := range m.outstanding[1:] {
+					if w.done < earliest {
+						earliest = w.done
+					}
+				}
+				if earliest > reqAt {
+					reqAt = earliest
+				}
+			}
+			walked := true
+			if m.shared != nil {
+				if pbase, at, hit := m.shared.Probe(reqAt, r.VPN); hit {
+					if pbase != tr.PageBase() {
+						panic("core: shared TLB returned a stale translation")
+					}
+					done = at
+					walked = false
+				} else {
+					reqAt = at // walk starts after the failed probe returns
+				}
+			}
+			if walked {
+				done = m.walk(reqAt, tr)
+				if m.shared != nil {
+					m.shared.Fill(done, r.VPN, tr.PageBase())
+				}
+				m.st.Walks.Inc()
+				m.st.WalkLat.Observe(uint64(done - reqAt))
+			}
+			m.tlb.Fill(done, r.VPN, tr.PageBase(), warp0)
+			m.pending[r.VPN] = done
+			m.outstanding = append(m.outstanding, outWalk{vpn: r.VPN, done: done})
+		}
+		m.st.TLBMissLat.Observe(uint64(done - lookupAt))
+		res[i] = PageResult{VPN: r.VPN, PBase: tr.PageBase(), ReadyAt: done, Merged: merged, LRUDepth: -1}
+	}
+	return res
+}
+
+// walk models one page table walk beginning no earlier than reqAt and
+// returns its completion cycle. In naive mode a hardware walker is occupied
+// for the whole serial walk; in scheduled mode references from concurrent
+// walks interleave through a single issue port, reusing identical PTE
+// fetches (paper figure 9).
+func (m *MMU) walk(reqAt engine.Cycle, tr vm.Translation) engine.Cycle {
+	if m.cfg.SoftwareWalks {
+		return m.walkSoftware(reqAt, tr)
+	}
+	if m.cfg.PTWSched {
+		return m.walkScheduled(reqAt, tr)
+	}
+	// Pick the earliest-free walker.
+	best := 0
+	for i := 1; i < len(m.walkers); i++ {
+		if m.walkers[i] < m.walkers[best] {
+			best = i
+		}
+	}
+	cur := m.walkers[best]
+	if cur < reqAt {
+		cur = reqAt
+	}
+	cur = m.walkPTEs(cur, tr, func(at engine.Cycle, pa uint64) engine.Cycle {
+		m.st.WalkRefs.Inc()
+		done, _ := m.sys.Access(at, pa, mem.ClassWalk)
+		return done
+	})
+	m.walkers[best] = cur
+	return cur
+}
+
+func (m *MMU) walkScheduled(reqAt engine.Cycle, tr vm.Translation) engine.Cycle {
+	return m.walkPTEs(reqAt, tr, func(cur engine.Cycle, pa uint64) engine.Cycle {
+		if avail, ok := m.reuse[pa]; ok {
+			// An in-flight or just-completed walk already fetched this
+			// exact PTE; the comparator tree forwards it.
+			m.st.WalkRefsCoalesced.Inc()
+			if avail > cur {
+				return avail
+			}
+			return cur
+		}
+		// One reference issues per cycle through the walker's port.
+		if m.issuePort > cur {
+			cur = m.issuePort
+		}
+		m.issuePort = cur + 1
+		m.st.WalkRefs.Inc()
+		done, _ := m.sys.Access(cur, pa, mem.ClassWalk)
+		m.reuse[pa] = done
+		return done
+	})
+}
+
+// walkSoftware services a miss by interrupting the core and running an OS
+// handler: a fixed interrupt/return overhead plus the serial page table
+// loads, fully serialised (the core can run one handler at a time). This
+// is the section 6.1 design option the paper rejects as slower.
+func (m *MMU) walkSoftware(reqAt engine.Cycle, tr vm.Translation) engine.Cycle {
+	cur := m.swWalker
+	if cur < reqAt {
+		cur = reqAt
+	}
+	cur += engine.Cycle(m.cfg.SoftwareWalkOverhead)
+	for _, pa := range tr.LevelPAs {
+		m.st.WalkRefs.Inc()
+		done, _ := m.sys.Access(cur, pa, mem.ClassWalk)
+		cur = done
+	}
+	m.swWalker = cur
+	return cur
+}
+
+// Shootdown flushes the TLB (inter-processor-interrupt semantics). The
+// paper notes shootdowns essentially never fire in these workloads; the
+// mechanism exists for completeness and tests.
+func (m *MMU) Shootdown() {
+	if m.tlb != nil {
+		m.tlb.Flush()
+	}
+	if m.shared != nil {
+		m.shared.Flush()
+	}
+	if m.pwc != nil {
+		m.pwc.Flush()
+	}
+}

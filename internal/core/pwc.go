@@ -1,0 +1,91 @@
+package core
+
+import (
+	"gpummu/internal/engine"
+	"gpummu/internal/vm"
+)
+
+// PWC is a page walk cache: a small fully-associative LRU cache over the
+// physical addresses of upper-level page table entries (PML4, PDP, PD).
+// A hit skips that level's memory reference entirely. This is the
+// translation-caching idea of Barr et al. (ISCA 2010), which the paper
+// cites but does not evaluate for GPUs — included here as an extension
+// (config.MMU.PWCEntries), off by default.
+//
+// Unlike the PTW scheduler's reuse window (which only survives while walks
+// are in flight), the PWC persists across quiet periods, so it also helps
+// isolated misses.
+type PWC struct {
+	entries map[uint64]*pwcEntry
+	order   uint64
+	cap     int
+}
+
+type pwcEntry struct {
+	lastUse uint64
+}
+
+// NewPWC builds a page walk cache with the given entry capacity.
+func NewPWC(capacity int) *PWC {
+	if capacity < 1 {
+		panic("core: PWC capacity must be >= 1")
+	}
+	return &PWC{entries: make(map[uint64]*pwcEntry, capacity), cap: capacity}
+}
+
+// Lookup reports whether the PTE at pa is cached, refreshing recency.
+func (p *PWC) Lookup(pa uint64) bool {
+	e, ok := p.entries[pa]
+	if !ok {
+		return false
+	}
+	p.order++
+	e.lastUse = p.order
+	return true
+}
+
+// Insert caches the PTE at pa, evicting the LRU entry when full.
+func (p *PWC) Insert(pa uint64) {
+	if e, ok := p.entries[pa]; ok {
+		p.order++
+		e.lastUse = p.order
+		return
+	}
+	if len(p.entries) >= p.cap {
+		var victim uint64
+		var oldest uint64 = ^uint64(0)
+		for k, e := range p.entries {
+			if e.lastUse < oldest {
+				oldest = e.lastUse
+				victim = k
+			}
+		}
+		delete(p.entries, victim)
+	}
+	p.order++
+	p.entries[pa] = &pwcEntry{lastUse: p.order}
+}
+
+// Flush empties the cache (TLB shootdowns invalidate cached PTEs too).
+func (p *PWC) Flush() { clear(p.entries) }
+
+// Len reports the number of cached entries.
+func (p *PWC) Len() int { return len(p.entries) }
+
+// walkWithPWC performs a walk where upper-level references (all but the
+// last) consult the PWC first. It is shared by the serial and scheduled
+// walk paths when a PWC is configured.
+func (m *MMU) walkPTEs(cur engine.Cycle, tr vm.Translation, issue func(engine.Cycle, uint64) engine.Cycle) engine.Cycle {
+	last := len(tr.LevelPAs) - 1
+	for i, pa := range tr.LevelPAs {
+		if m.pwc != nil && i < last {
+			if m.pwc.Lookup(pa) {
+				m.st.PWCHits.Inc()
+				continue // upper-level PTE served from the walk cache
+			}
+			m.pwc.Insert(pa)
+		}
+		cur = issue(cur, pa)
+	}
+	return cur
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"gpummu/internal/config"
+)
+
+func TestPWCBasics(t *testing.T) {
+	p := NewPWC(2)
+	if p.Lookup(0x100) {
+		t.Fatal("cold lookup hit")
+	}
+	p.Insert(0x100)
+	p.Insert(0x200)
+	if !p.Lookup(0x100) || !p.Lookup(0x200) {
+		t.Fatal("resident entries missed")
+	}
+	// 0x100 is more recent now (looked up last? order: lookups refreshed
+	// 0x100 then 0x200, so 0x100 is LRU).
+	p.Insert(0x300)
+	if p.Lookup(0x100) {
+		t.Fatal("LRU entry survived")
+	}
+	if !p.Lookup(0x300) || !p.Lookup(0x200) {
+		t.Fatal("wrong entry evicted")
+	}
+	p.Flush()
+	if p.Len() != 0 {
+		t.Fatal("flush left entries")
+	}
+}
+
+func TestPWCSkipsUpperLevelRefs(t *testing.T) {
+	plain := config.NaiveMMU(4)
+	plain.HitsUnderMiss = true
+	withPWC := plain
+	withPWC.PWCEntries = 64
+
+	a := newHarness(t, plain, 8)
+	b := newHarness(t, withPWC, 8)
+
+	// Two walks for adjacent pages: PML4/PDP/PD are shared.
+	a.mmu.Lookup(0, req(a.vpn(0)))
+	a.mmu.Lookup(5000, req(a.vpn(1)))
+	b.mmu.Lookup(0, req(b.vpn(0)))
+	b.mmu.Lookup(5000, req(b.vpn(1)))
+
+	if a.st.WalkRefs != 8 {
+		t.Fatalf("plain walker issued %d refs, want 8", a.st.WalkRefs)
+	}
+	// PWC: first walk 4 refs, second walk only the PT-level ref.
+	if b.st.WalkRefs != 5 {
+		t.Fatalf("PWC walker issued %d refs, want 5", b.st.WalkRefs)
+	}
+	if b.st.PWCHits != 3 {
+		t.Fatalf("PWC hits = %d, want 3", b.st.PWCHits)
+	}
+}
+
+func TestPWCNeverCachesLeafPTE(t *testing.T) {
+	cfg := config.NaiveMMU(4)
+	cfg.PWCEntries = 64
+	h := newHarness(t, cfg, 4)
+	// Walk the same page twice (flush TLB in between): the leaf PT entry
+	// must be re-read both times; only 3 upper levels are cached.
+	r := h.mmu.Lookup(0, req(h.vpn(0)))
+	h.mmu.TLB().Flush()
+	h.mmu.Lookup(r[0].ReadyAt+10, req(h.vpn(0)))
+	if h.st.WalkRefs != 5 { // 4 + 1 (leaf only)
+		t.Fatalf("refs = %d, want 5", h.st.WalkRefs)
+	}
+}
+
+func TestPWCFlushedOnShootdown(t *testing.T) {
+	cfg := config.NaiveMMU(4)
+	cfg.PWCEntries = 64
+	h := newHarness(t, cfg, 4)
+	h.mmu.Lookup(0, req(h.vpn(0)))
+	h.mmu.Shootdown()
+	h.mmu.Lookup(100000, req(h.vpn(0)))
+	if h.st.WalkRefs != 8 {
+		t.Fatalf("refs after shootdown = %d, want 8 (no PWC reuse)", h.st.WalkRefs)
+	}
+}

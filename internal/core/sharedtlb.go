@@ -1,0 +1,55 @@
+package core
+
+import (
+	"gpummu/internal/engine"
+	"gpummu/internal/stats"
+)
+
+// SharedTLB is a chip-level second-tier TLB shared by every shader core,
+// probed on per-core TLB misses before starting a page table walk. The
+// paper's section 10 anticipates follow-up work in this direction (its
+// concurrent work, Power et al. HPCA 2014, shares walk hardware across
+// compute units; shared last-level TLBs are Bhattacharjee et al. HPCA
+// 2010). It is an extension beyond the paper's evaluated designs, off by
+// default.
+type SharedTLB struct {
+	tlb     *TLB
+	ports   *engine.Resource
+	latency engine.Cycle // round-trip to the shared structure
+	st      *stats.Sim
+}
+
+// NewSharedTLB builds a shared TLB with the given geometry. latency is the
+// round-trip cost a core pays to probe it (interconnect + access).
+func NewSharedTLB(entries, assoc int, ports int, latency int, st *stats.Sim) *SharedTLB {
+	return &SharedTLB{
+		tlb:     NewTLB(entries, assoc, 0),
+		ports:   engine.NewResource(ports),
+		latency: engine.Cycle(latency),
+		st:      st,
+	}
+}
+
+// Probe looks up vpn at cycle now. On a hit it returns the physical page
+// base and the cycle the translation arrives back at the requesting core.
+func (s *SharedTLB) Probe(now engine.Cycle, vpn uint64) (pbase uint64, readyAt engine.Cycle, hit bool) {
+	start := s.ports.Acquire(now, 1)
+	info, ok := s.tlb.Lookup(start, vpn, -1)
+	s.st.SharedTLBAccesses.Inc()
+	if !ok {
+		s.st.SharedTLBMisses.Inc()
+		return 0, start + s.latency, false
+	}
+	s.st.SharedTLBHits.Inc()
+	return info.PBase, start + s.latency, true
+}
+
+// Fill installs a translation that becomes visible at readyAt (walk
+// completions propagate to the shared tier as well as the requesting
+// core's TLB).
+func (s *SharedTLB) Fill(readyAt engine.Cycle, vpn, pbase uint64) {
+	s.tlb.Fill(readyAt, vpn, pbase, -1)
+}
+
+// Flush empties the shared tier (shootdowns flush both levels).
+func (s *SharedTLB) Flush() { s.tlb.Flush() }

@@ -1,0 +1,161 @@
+// Package core implements the paper's contribution: the per-shader-core GPU
+// memory management unit. It contains the set-associative TLB with a
+// CACTI-style size/latency trade-off, blocking and non-blocking miss
+// handling, single and multiple hardware page table walkers, the coalescing
+// page-table-walk scheduler of section 6.3, the victim tag arrays used by
+// the CCWS scheduler family (section 7), and the Common Page Matrix used by
+// TLB-aware thread block compaction (section 8).
+package core
+
+import (
+	"gpummu/internal/engine"
+)
+
+// tlbEntry is one TLB way. validAt implements fills that complete in the
+// future: a lookup at cycle c only sees entries with validAt <= c, which is
+// how the analytic timing model represents in-flight fills.
+type tlbEntry struct {
+	vpn     uint64
+	pbase   uint64
+	valid   bool
+	validAt engine.Cycle
+	lastUse uint64
+	// allocWarp is the warp whose miss filled this entry (victim
+	// attribution for TCWS VTAs).
+	allocWarp int
+	// history holds the last warps to hit this entry (paper section 8.2:
+	// 12 spare PTE bits hold two 6-bit warp IDs for CPM updates).
+	history []int16
+}
+
+// TLB is a set-associative translation lookaside buffer with true LRU
+// replacement within each set.
+type TLB struct {
+	sets    [][]tlbEntry
+	setMask uint64
+	tick    uint64
+	histLen int
+
+	// onEvict, when set, observes evicted entries (TCWS fills its
+	// page-granular victim tag arrays from these).
+	onEvict func(vpn uint64, allocWarp int)
+}
+
+// NewTLB builds a TLB with the given total entries and associativity. The
+// set count must come out a power of two. histLen is the per-entry warp
+// history length for CPM updates (0 disables history tracking).
+func NewTLB(entries, assoc, histLen int) *TLB {
+	if entries%assoc != 0 {
+		panic("core: TLB entries must divide by associativity")
+	}
+	numSets := entries / assoc
+	if numSets&(numSets-1) != 0 {
+		panic("core: TLB set count must be a power of two")
+	}
+	sets := make([][]tlbEntry, numSets)
+	backing := make([]tlbEntry, entries)
+	for i := range sets {
+		sets[i] = backing[i*assoc : (i+1)*assoc]
+	}
+	return &TLB{sets: sets, setMask: uint64(numSets - 1), histLen: histLen}
+}
+
+// SetOnEvict registers an eviction observer.
+func (t *TLB) SetOnEvict(fn func(vpn uint64, allocWarp int)) { t.onEvict = fn }
+
+func (t *TLB) set(vpn uint64) []tlbEntry { return t.sets[vpn&t.setMask] }
+
+// HitInfo describes a TLB hit.
+type HitInfo struct {
+	PBase    uint64
+	LRUDepth int     // 0 = MRU position within the set
+	History  []int16 // warps that hit this entry before (CPM input)
+}
+
+// Lookup probes the TLB for vpn at cycle now, updating recency and the warp
+// history on a hit. warp is the original warp ID of the requester.
+func (t *TLB) Lookup(now engine.Cycle, vpn uint64, warp int) (HitInfo, bool) {
+	set := t.set(vpn)
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn && e.validAt <= now {
+			depth := 0
+			for j := range set {
+				o := &set[j]
+				if j != i && o.valid && o.validAt <= now && o.lastUse > e.lastUse {
+					depth++
+				}
+			}
+			t.tick++
+			e.lastUse = t.tick
+			info := HitInfo{PBase: e.pbase, LRUDepth: depth}
+			if t.histLen > 0 {
+				info.History = append(info.History, e.history...)
+				e.history = append(e.history, int16(warp))
+				if len(e.history) > t.histLen {
+					e.history = e.history[len(e.history)-t.histLen:]
+				}
+			}
+			return info, true
+		}
+	}
+	return HitInfo{}, false
+}
+
+// Fill installs vpn -> pbase, becoming visible at cycle readyAt. warp is
+// the allocating warp. The LRU entry of the set is evicted.
+func (t *TLB) Fill(readyAt engine.Cycle, vpn, pbase uint64, warp int) {
+	set := t.set(vpn)
+	victim := 0
+	for i := range set {
+		e := &set[i]
+		if e.valid && e.vpn == vpn {
+			// Refill of an in-flight or stale entry: update in place.
+			e.pbase = pbase
+			e.validAt = readyAt
+			return
+		}
+		if !set[victim].valid {
+			continue
+		}
+		if !e.valid || e.lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid && t.onEvict != nil {
+		t.onEvict(v.vpn, v.allocWarp)
+	}
+	t.tick++
+	*v = tlbEntry{vpn: vpn, pbase: pbase, valid: true, validAt: readyAt, lastUse: t.tick, allocWarp: warp}
+	if t.histLen > 0 {
+		v.history = make([]int16, 0, t.histLen)
+	}
+}
+
+// Flush invalidates the whole TLB (shootdown semantics: the paper assumes
+// CPU-initiated flushes of the GPU TLB, section 6.2).
+func (t *TLB) Flush() {
+	for _, set := range t.sets {
+		for i := range set {
+			set[i] = tlbEntry{}
+		}
+	}
+}
+
+// Occupancy returns the valid fraction of entries (diagnostics).
+func (t *TLB) Occupancy() float64 {
+	valid, total := 0, 0
+	for _, set := range t.sets {
+		for i := range set {
+			total++
+			if set[i].valid {
+				valid++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(valid) / float64(total)
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTLBFillLookup(t *testing.T) {
+	tlb := NewTLB(128, 4, 0)
+	if _, ok := tlb.Lookup(0, 0x42, 1); ok {
+		t.Fatal("cold lookup hit")
+	}
+	tlb.Fill(10, 0x42, 0xABC000, 1)
+	if _, ok := tlb.Lookup(5, 0x42, 1); ok {
+		t.Fatal("lookup before validAt hit")
+	}
+	info, ok := tlb.Lookup(10, 0x42, 1)
+	if !ok || info.PBase != 0xABC000 {
+		t.Fatalf("lookup = %+v, %v", info, ok)
+	}
+}
+
+func TestTLBLRUWithinSet(t *testing.T) {
+	tlb := NewTLB(8, 4, 0) // 2 sets, 4 ways
+	// Four VPNs in set 0 (even VPNs land in set 0 for 2 sets).
+	vpns := []uint64{0, 2, 4, 6}
+	for i, v := range vpns {
+		tlb.Fill(0, v, uint64(i)<<12, 0)
+	}
+	tlb.Lookup(1, 0, 0) // refresh vpn 0
+	tlb.Fill(2, 8, 0x99000, 0)
+	if _, ok := tlb.Lookup(3, 2, 0); ok {
+		t.Fatal("LRU entry (vpn 2) survived")
+	}
+	if _, ok := tlb.Lookup(3, 0, 0); !ok {
+		t.Fatal("MRU entry (vpn 0) evicted")
+	}
+}
+
+func TestTLBLRUDepth(t *testing.T) {
+	tlb := NewTLB(8, 4, 0)
+	for i, v := range []uint64{0, 2, 4, 6} {
+		tlb.Fill(0, v, uint64(i)<<12, 0)
+	}
+	// 6 was filled last => depth 0; 0 was first => depth 3.
+	if info, _ := tlb.Lookup(1, 6, 0); info.LRUDepth != 0 {
+		t.Fatalf("vpn 6 depth = %d, want 0", info.LRUDepth)
+	}
+	if info, _ := tlb.Lookup(2, 0, 0); info.LRUDepth != 3 {
+		t.Fatalf("vpn 0 depth = %d, want 3", info.LRUDepth)
+	}
+	// 0 just became MRU.
+	if info, _ := tlb.Lookup(3, 0, 0); info.LRUDepth != 0 {
+		t.Fatalf("refreshed vpn 0 depth = %d, want 0", info.LRUDepth)
+	}
+}
+
+func TestTLBWarpHistory(t *testing.T) {
+	tlb := NewTLB(8, 4, 2)
+	tlb.Fill(0, 0x10, 0x1000, 3)
+	info, _ := tlb.Lookup(1, 0x10, 5)
+	if len(info.History) != 0 {
+		t.Fatalf("first hit sees history %v", info.History)
+	}
+	info, _ = tlb.Lookup(2, 0x10, 7)
+	if len(info.History) != 1 || info.History[0] != 5 {
+		t.Fatalf("second hit sees %v, want [5]", info.History)
+	}
+	info, _ = tlb.Lookup(3, 0x10, 9)
+	if len(info.History) != 2 || info.History[0] != 5 || info.History[1] != 7 {
+		t.Fatalf("third hit sees %v, want [5 7]", info.History)
+	}
+	tlb.Lookup(4, 0x10, 11)
+	info, _ = tlb.Lookup(5, 0x10, 0)
+	if len(info.History) != 2 || info.History[0] != 9 || info.History[1] != 11 {
+		t.Fatalf("history not bounded to 2: %v", info.History)
+	}
+}
+
+func TestTLBEvictionHook(t *testing.T) {
+	tlb := NewTLB(4, 4, 0) // one set
+	var evictedVPN uint64
+	var evictedWarp int
+	tlb.SetOnEvict(func(vpn uint64, w int) { evictedVPN, evictedWarp = vpn, w })
+	for i := uint64(0); i < 4; i++ {
+		tlb.Fill(0, i, i<<12, int(i))
+	}
+	tlb.Fill(1, 99, 0x9000, 9)
+	if evictedVPN != 0 || evictedWarp != 0 {
+		t.Fatalf("evicted (%d, warp %d), want (0, warp 0)", evictedVPN, evictedWarp)
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := NewTLB(128, 4, 0)
+	tlb.Fill(0, 1, 0x1000, 0)
+	tlb.Flush()
+	if _, ok := tlb.Lookup(1, 1, 0); ok {
+		t.Fatal("entry survived flush")
+	}
+	if tlb.Occupancy() != 0 {
+		t.Fatal("occupancy nonzero after flush")
+	}
+}
+
+// TestTLBQuickFillThenHit: any fill is observable at its validAt cycle with
+// the filled pbase.
+func TestTLBQuickFillThenHit(t *testing.T) {
+	tlb := NewTLB(256, 4, 0)
+	f := func(vpn uint32, pb uint32) bool {
+		v, p := uint64(vpn), uint64(pb)<<12
+		tlb.Fill(0, v, p, 0)
+		info, ok := tlb.Lookup(0, v, 0)
+		return ok && info.PBase == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVTAProbeInsert(t *testing.T) {
+	v := NewVTA(16, 8)
+	if v.Probe(0x123) {
+		t.Fatal("cold probe hit")
+	}
+	v.Insert(0x123)
+	if !v.Probe(0x123) {
+		t.Fatal("inserted tag not found")
+	}
+	v.Clear()
+	if v.Probe(0x123) {
+		t.Fatal("tag survived clear")
+	}
+}
+
+func TestVTACapacityEviction(t *testing.T) {
+	v := NewVTA(4, 4) // one set of 4
+	for i := uint64(0); i < 5; i++ {
+		v.Insert(i)
+	}
+	if v.Probe(0) {
+		t.Fatal("LRU tag survived over-capacity insert")
+	}
+	for i := uint64(1); i < 5; i++ {
+		if !v.Probe(i) {
+			t.Fatalf("tag %d lost", i)
+		}
+	}
+}
+
+func TestVTATinyGeometries(t *testing.T) {
+	for _, epw := range []int{2, 4, 8, 16} {
+		v := NewVTA(epw, 8)
+		for i := uint64(0); i < uint64(epw); i++ {
+			v.Insert(i)
+		}
+		hits := 0
+		for i := uint64(0); i < uint64(epw); i++ {
+			if v.Probe(i) {
+				hits++
+			}
+		}
+		if hits != epw {
+			t.Fatalf("EPW %d retains %d/%d", epw, hits, epw)
+		}
+	}
+}
+
+func TestCPMSaturationAndFlush(t *testing.T) {
+	c := NewCPM(8, 2, 500) // counters saturate at 3
+	if c.Saturated(1, 2) {
+		t.Fatal("fresh CPM saturated")
+	}
+	if !c.Saturated(3, 3) {
+		t.Fatal("warp not compatible with itself")
+	}
+	for i := 0; i < 3; i++ {
+		c.OnTLBHit(1, []int16{2})
+	}
+	if !c.Saturated(1, 2) || !c.Saturated(2, 1) {
+		t.Fatal("counters not symmetric or not saturated after 3 hits")
+	}
+	c.MaybeFlush(100) // before period: no-op
+	if !c.Saturated(1, 2) {
+		t.Fatal("flushed early")
+	}
+	c.MaybeFlush(600)
+	if c.Saturated(1, 2) {
+		t.Fatal("flush did not clear counters")
+	}
+}
+
+func TestCPMCounterBits(t *testing.T) {
+	for _, bits := range []int{1, 2, 3} {
+		c := NewCPM(4, bits, 0)
+		max := 1<<bits - 1
+		for i := 0; i < max-1; i++ {
+			c.OnTLBHit(0, []int16{1})
+		}
+		if max > 1 && c.Saturated(0, 1) {
+			t.Fatalf("bits=%d: saturated one hit early", bits)
+		}
+		c.OnTLBHit(0, []int16{1})
+		if !c.Saturated(0, 1) {
+			t.Fatalf("bits=%d: not saturated at max", bits)
+		}
+		if got := c.Counter(0, 1); int(got) != max {
+			t.Fatalf("bits=%d: counter %d, want %d", bits, got, max)
+		}
+	}
+}
+
+func TestCPMIgnoresOutOfRange(t *testing.T) {
+	c := NewCPM(4, 3, 0)
+	c.OnTLBHit(-1, []int16{2})
+	c.OnTLBHit(0, []int16{99})
+	if c.Saturated(0, 99) || c.Saturated(-1, 2) {
+		t.Fatal("out-of-range pairs reported saturated")
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+// VTA is a per-warp victim tag array: a small set-associative store of tags
+// of recently evicted cache lines (CCWS, paper figure 12) or virtual pages
+// (TCWS, figure 15). Hits in a warp's VTA indicate the warp's working set
+// was displaced by other warps — lost intra-warp locality.
+type VTA struct {
+	sets    [][]vtag
+	setMask uint64
+	tick    uint64
+}
+
+type vtag struct {
+	tag     uint64
+	valid   bool
+	lastUse uint64
+}
+
+// NewVTA builds a victim tag array with the given entries and associativity
+// (paper: 16-entry 8-way per warp for CCWS; TCWS sweeps entries-per-warp).
+// If entries < assoc the array degrades to a single set of `entries` ways.
+func NewVTA(entries, assoc int) *VTA {
+	if assoc < 1 {
+		panic("core: VTA associativity must be >= 1")
+	}
+	if entries < assoc {
+		assoc = entries
+	}
+	numSets := entries / assoc
+	if numSets == 0 {
+		numSets = 1
+	}
+	// Round set count down to a power of two to keep indexing trivial.
+	for numSets&(numSets-1) != 0 {
+		numSets--
+	}
+	sets := make([][]vtag, numSets)
+	backing := make([]vtag, numSets*assoc)
+	for i := range sets {
+		sets[i] = backing[i*assoc : (i+1)*assoc]
+	}
+	return &VTA{sets: sets, setMask: uint64(numSets - 1)}
+}
+
+// Probe reports whether tag is present, refreshing its recency on a hit
+// (the paper probes on misses in the corresponding structure).
+func (v *VTA) Probe(tag uint64) bool {
+	set := v.sets[tag&v.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			v.tick++
+			set[i].lastUse = v.tick
+			return true
+		}
+	}
+	return false
+}
+
+// Insert records an evicted tag, displacing the set's LRU entry.
+func (v *VTA) Insert(tag uint64) {
+	set := v.sets[tag&v.setMask]
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			v.tick++
+			set[i].lastUse = v.tick
+			return
+		}
+		if !set[victim].valid {
+			continue
+		}
+		if !set[i].valid || set[i].lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	v.tick++
+	set[victim] = vtag{tag: tag, valid: true, lastUse: v.tick}
+}
+
+// Clear empties the array.
+func (v *VTA) Clear() {
+	for _, set := range v.sets {
+		for i := range set {
+			set[i] = vtag{}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package engine provides the low-level building blocks shared by every
+// timing model in the simulator: the cycle type, contended-resource
+// bookkeeping, and a deterministic pseudo-random source.
+//
+// The simulator is cycle-driven but avoids modelling every pipeline buffer.
+// Instead, each contended structure (a TLB port group, a cache bank, a DRAM
+// channel, a page table walker) is a Resource: a small ring of
+// next-free-cycle counters. Asking a Resource for service at cycle c returns
+// the cycle at which service actually starts, pushing the port's next-free
+// marker forward by the occupancy. This "analytic queue" style is the
+// standard trick used by trace-driven architecture simulators to model
+// contention at a fraction of the cost of event queues.
+package engine
+
+import "math"
+
+// Cycle is a point in simulated time, measured in GPU core clock cycles.
+type Cycle uint64
+
+// Resource models a structure with a fixed number of service ports, each of
+// which can start one request per BusyFor cycles. The zero value is not
+// usable; construct with NewResource.
+type Resource struct {
+	ports []Cycle // next cycle at which each port is free
+}
+
+// NewResource returns a Resource with the given port count. ports must be
+// at least 1.
+func NewResource(ports int) *Resource {
+	if ports < 1 {
+		panic("engine: Resource needs at least one port")
+	}
+	return &Resource{ports: make([]Cycle, ports)}
+}
+
+// Ports reports the number of service ports.
+func (r *Resource) Ports() int { return len(r.ports) }
+
+// Acquire reserves the earliest-available port at or after cycle now for
+// busy cycles, returning the cycle at which service starts.
+func (r *Resource) Acquire(now Cycle, busy Cycle) Cycle {
+	best := 0
+	for i := 1; i < len(r.ports); i++ {
+		if r.ports[i] < r.ports[best] {
+			best = i
+		}
+	}
+	start := r.ports[best]
+	if start < now {
+		start = now
+	}
+	r.ports[best] = start + busy
+	return start
+}
+
+// FreeAt reports the earliest cycle at which some port could begin service,
+// ignoring requests that might arrive in the meantime.
+func (r *Resource) FreeAt() Cycle {
+	best := r.ports[0]
+	for _, p := range r.ports[1:] {
+		if p < best {
+			best = p
+		}
+	}
+	return best
+}
+
+// Reset makes all ports free immediately.
+func (r *Resource) Reset() {
+	for i := range r.ports {
+		r.ports[i] = 0
+	}
+}
+
+// RNG is a deterministic 64-bit pseudo-random generator (xorshift*). Every
+// stochastic choice in the simulator draws from an RNG seeded from the
+// workload configuration so runs are exactly reproducible.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is remapped to a
+// fixed non-zero constant because the xorshift state must never be zero.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next value in the sequence.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("engine: Intn needs positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). n must be positive.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("engine: Uint64n needs positive n")
+	}
+	return r.Uint64() % n
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Zipf draws Zipf-distributed ranks in [0, n) with exponent s. It uses a
+// precomputed inverse-CDF table so draws are O(log n). Zipf is used by the
+// memcached workload to mimic the skew of the Wikipedia request trace.
+type Zipf struct {
+	rng *RNG
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n items with skew s (s > 0; the paper's
+// key-value workload is well modelled by s around 0.99).
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("engine: Zipf needs positive n")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{rng: rng, cdf: cdf}
+}
+
+// Draw returns the next rank.
+func (z *Zipf) Draw() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func pow(base, exp float64) float64 { return math.Pow(base, exp) }

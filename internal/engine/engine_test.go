@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestResourceSinglePortSerialises(t *testing.T) {
+	r := NewResource(1)
+	if got := r.Acquire(10, 5); got != 10 {
+		t.Fatalf("first acquire starts at %d", got)
+	}
+	if got := r.Acquire(10, 5); got != 15 {
+		t.Fatalf("second acquire starts at %d, want 15", got)
+	}
+	if got := r.Acquire(100, 5); got != 100 {
+		t.Fatalf("late acquire starts at %d, want 100", got)
+	}
+}
+
+func TestResourceMultiPortParallel(t *testing.T) {
+	r := NewResource(3)
+	for i := 0; i < 3; i++ {
+		if got := r.Acquire(0, 10); got != 0 {
+			t.Fatalf("port %d starts at %d", i, got)
+		}
+	}
+	if got := r.Acquire(0, 10); got != 10 {
+		t.Fatalf("fourth request starts at %d, want 10", got)
+	}
+}
+
+func TestResourceFreeAtAndReset(t *testing.T) {
+	r := NewResource(2)
+	r.Acquire(0, 4)
+	if got := r.FreeAt(); got != 0 {
+		t.Fatalf("FreeAt = %d, want 0 (second port idle)", got)
+	}
+	r.Acquire(0, 6)
+	if got := r.FreeAt(); got != 4 {
+		t.Fatalf("FreeAt = %d, want 4", got)
+	}
+	r.Reset()
+	if got := r.FreeAt(); got != 0 {
+		t.Fatalf("FreeAt after reset = %d", got)
+	}
+}
+
+// TestResourceMonotonicQuick: service never starts before the request, and
+// with one port, consecutive service intervals never overlap.
+func TestResourceMonotonicQuick(t *testing.T) {
+	r := NewResource(1)
+	var lastEnd Cycle
+	f := func(delta uint16, busy uint8) bool {
+		now := lastEnd - Cycle(uint64(delta)%7) // sometimes before free
+		if lastEnd < Cycle(delta) {
+			now = Cycle(delta)
+		}
+		start := r.Acquire(now, Cycle(busy))
+		ok := start >= now && start >= lastEnd
+		lastEnd = start + Cycle(busy)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminismAndSpread(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed streams diverge")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collide %d/100", same)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(17); v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d", v)
+		}
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 10000; i++ {
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %f", f)
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	xs := make([]int, 100)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make([]bool, 100)
+	for _, x := range xs {
+		if seen[x] {
+			t.Fatalf("duplicate %d after shuffle", x)
+		}
+		seen[x] = true
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(11)
+	z := NewZipf(r, 1000, 0.99)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		v := z.Draw()
+		if v < 0 || v >= 1000 {
+			t.Fatalf("Zipf draw %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Rank 0 must dominate rank 500 heavily.
+	if counts[0] < 10*counts[500]+1 {
+		t.Fatalf("distribution not skewed: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+	// The head must not be everything either.
+	if counts[0] > 50000 {
+		t.Fatalf("rank0 hoards %d draws", counts[0])
+	}
+}

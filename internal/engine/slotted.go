@@ -1,0 +1,97 @@
+package engine
+
+// SlottedResource models a contended structure by bucketing time into
+// fixed-width windows, each with a budget of busy-cycles (ports × window).
+// Unlike Resource, it admits out-of-order reservations: a request that must
+// start far in the future reserves capacity in *its* windows without
+// blocking earlier windows — essential in this simulator because memory
+// accesses are issued analytically at their (possibly future) start times,
+// not in global time order.
+type SlottedResource struct {
+	window   uint64
+	capacity int // busy-cycles available per window
+	used     map[uint64]int
+	floor    uint64 // windows below this have been pruned (treated as full history)
+}
+
+// NewSlottedResource builds a resource able to sustain ports busy-cycles
+// per cycle, tracked at the given window granularity (power of two
+// recommended; 16-64 is a good trade-off between accuracy and memory).
+func NewSlottedResource(ports int, window uint64) *SlottedResource {
+	if ports < 1 || window < 1 {
+		panic("engine: SlottedResource needs ports >= 1 and window >= 1")
+	}
+	return &SlottedResource{
+		window:   window,
+		capacity: ports * int(window),
+		used:     make(map[uint64]int),
+	}
+}
+
+// Acquire reserves busy busy-cycles starting no earlier than start,
+// returning the cycle at which service begins. Capacity is consumed from
+// the first window at or after start with room, spilling into subsequent
+// windows for large requests.
+func (s *SlottedResource) Acquire(start Cycle, busy int) Cycle {
+	if busy <= 0 {
+		return start
+	}
+	w := uint64(start) / s.window
+	if w < s.floor {
+		w = s.floor
+	}
+	// Find the first window with any room.
+	for s.used[w] >= s.capacity {
+		w++
+	}
+	begin := Cycle(w * s.window)
+	if begin < start {
+		begin = start
+	}
+	// Consume, spilling forward as needed.
+	remaining := busy
+	for remaining > 0 {
+		room := s.capacity - s.used[w]
+		if room > remaining {
+			room = remaining
+		}
+		if room > 0 {
+			s.used[w] += room
+			remaining -= room
+		}
+		if remaining > 0 {
+			w++
+		}
+	}
+	return begin
+}
+
+// PruneBefore drops bookkeeping for windows wholly before cycle c. Callers
+// guarantee no future Acquire will target a pruned window (the simulator's
+// clock is monotonic and requests never start in the past).
+func (s *SlottedResource) PruneBefore(c Cycle) {
+	limit := uint64(c) / s.window
+	if limit <= s.floor {
+		return
+	}
+	for w := range s.used {
+		if w < limit {
+			delete(s.used, w)
+		}
+	}
+	s.floor = limit
+}
+
+// Utilization reports used/capacity over windows in [from, to) —
+// diagnostics only.
+func (s *SlottedResource) Utilization(from, to Cycle) float64 {
+	lo, hi := uint64(from)/s.window, uint64(to)/s.window
+	if hi <= lo {
+		return 0
+	}
+	var used int
+	for w := lo; w < hi; w++ {
+		used += s.used[w]
+	}
+	return float64(used) / float64(int(hi-lo)*s.capacity)
+}

@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSlottedBasicAdmission(t *testing.T) {
+	r := NewSlottedResource(1, 16) // 16 busy-cycles per 16-cycle window
+	if got := r.Acquire(0, 8); got != 0 {
+		t.Fatalf("first acquire at %d", got)
+	}
+	if got := r.Acquire(0, 8); got != 0 {
+		t.Fatalf("second acquire at %d (window had room)", got)
+	}
+	// Window [0,16) is full now; next goes to window 1.
+	if got := r.Acquire(0, 1); got < 16 {
+		t.Fatalf("third acquire at %d, want >= 16", got)
+	}
+}
+
+func TestSlottedOutOfOrderNoStarvation(t *testing.T) {
+	r := NewSlottedResource(1, 16)
+	// A far-future reservation must not delay a near-term one.
+	far := r.Acquire(10_000, 8)
+	if far < 10_000 {
+		t.Fatalf("future acquire at %d", far)
+	}
+	near := r.Acquire(0, 8)
+	if near >= 16 {
+		t.Fatalf("near-term acquire pushed to %d by future reservation", near)
+	}
+}
+
+func TestSlottedSpill(t *testing.T) {
+	r := NewSlottedResource(1, 8)
+	// 20 busy-cycles spill across 3 windows but service starts immediately.
+	if got := r.Acquire(0, 20); got != 0 {
+		t.Fatalf("spilling acquire at %d", got)
+	}
+	// All of window 0 and 1 plus half of 2 are used.
+	if got := r.Acquire(0, 8); got < 16 {
+		t.Fatalf("follow-up acquire at %d, want >= 16", got)
+	}
+}
+
+func TestSlottedPrune(t *testing.T) {
+	r := NewSlottedResource(1, 16)
+	for i := 0; i < 100; i++ {
+		r.Acquire(Cycle(i*16), 16)
+	}
+	r.PruneBefore(50 * 16)
+	// Pruned windows are treated as history; new acquires at/after the
+	// floor still work.
+	if got := r.Acquire(100*16, 1); got < 100*16 {
+		t.Fatalf("post-prune acquire at %d", got)
+	}
+}
+
+func TestSlottedUtilization(t *testing.T) {
+	r := NewSlottedResource(1, 16)
+	r.Acquire(0, 16)
+	if u := r.Utilization(0, 16); u != 1.0 {
+		t.Fatalf("utilization = %f", u)
+	}
+	if u := r.Utilization(16, 32); u != 0 {
+		t.Fatalf("empty utilization = %f", u)
+	}
+}
+
+// TestSlottedConservationQuick: total capacity granted can never exceed
+// ports x elapsed window span, for any request pattern.
+func TestSlottedConservationQuick(t *testing.T) {
+	const ports, window = 2, 16
+	r := NewSlottedResource(ports, window)
+	granted := 0
+	maxEnd := Cycle(0)
+	f := func(start uint16, busy uint8) bool {
+		b := int(busy%32) + 1
+		at := r.Acquire(Cycle(start), b)
+		if at < Cycle(start) {
+			return false
+		}
+		granted += b
+		end := at + Cycle(b)
+		if end > maxEnd {
+			maxEnd = end
+		}
+		// Capacity over [0, maxEnd+window) bounds everything granted.
+		capacity := (int(maxEnd)/window + 1) * ports * window
+		return granted <= capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

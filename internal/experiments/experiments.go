@@ -1,0 +1,200 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each FigureN function runs the required (workload, config)
+// matrix and renders rows shaped like the paper's plots; RunAll drives them
+// and collates an EXPERIMENTS.md-style report with the paper's expected
+// ranges alongside measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"gpummu/internal/config"
+	"gpummu/internal/gpu"
+	"gpummu/internal/stats"
+	"gpummu/internal/workloads"
+)
+
+// Options configures a harness run.
+type Options struct {
+	Size     workloads.Size
+	Seed     uint64
+	Machine  func() config.Hardware // base machine; default config.Baseline
+	Workload []string               // defaults to the paper's six
+	Verbose  bool
+}
+
+func (o *Options) fill() {
+	if o.Machine == nil {
+		o.Machine = config.Baseline
+	}
+	if len(o.Workload) == 0 {
+		o.Workload = workloads.PaperSet()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Harness caches baseline runs so every figure shares normalisation.
+type Harness struct {
+	opt   Options
+	out   io.Writer
+	cache map[string]*stats.Sim
+}
+
+// New creates a harness writing its tables to out.
+func New(out io.Writer, opt Options) *Harness {
+	opt.fill()
+	return &Harness{opt: opt, out: out, cache: make(map[string]*stats.Sim)}
+}
+
+// key identifies a (workload, config) pair for caching.
+func key(w string, cfg config.Hardware) string {
+	return fmt.Sprintf("%s|%+v|%+v|%+v|%d|%d", w, cfg.MMU, cfg.Sched, cfg.TBC, cfg.PageShift, cfg.NumCores)
+}
+
+// Run executes workload w under cfg (cached) and returns its statistics.
+func (h *Harness) Run(w string, cfg config.Hardware) (*stats.Sim, error) {
+	k := key(w, cfg)
+	if st, ok := h.cache[k]; ok {
+		return st, nil
+	}
+	start := time.Now()
+	wl, err := workloads.Build(w, h.opt.Size, cfg.PageShift, h.opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	st := &stats.Sim{}
+	g, err := gpu.New(cfg, wl.AS, st)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := g.Run(wl.Launch); err != nil {
+		return nil, fmt.Errorf("%s: %w", w, err)
+	}
+	if wl.Check != nil {
+		if err := wl.Check(); err != nil {
+			return nil, fmt.Errorf("%s: %w", w, err)
+		}
+	}
+	if h.opt.Verbose {
+		fmt.Fprintf(h.out, "# ran %s [%s] in %v: %d cycles\n", w, describe(cfg), time.Since(start).Round(time.Millisecond), st.Cycles)
+	}
+	h.cache[k] = st
+	return st, nil
+}
+
+// baseline returns the no-TLB run for w with the harness machine.
+func (h *Harness) baseline(w string) (*stats.Sim, error) {
+	cfg := h.opt.Machine()
+	cfg.MMU = config.MMU{Enabled: false}
+	return h.Run(w, cfg)
+}
+
+// speedup computes st's speedup over the no-TLB baseline for w.
+func (h *Harness) speedup(w string, st *stats.Sim) (float64, error) {
+	base, err := h.baseline(w)
+	if err != nil {
+		return 0, err
+	}
+	if st.Cycles == 0 {
+		return 0, fmt.Errorf("%s: zero cycles", w)
+	}
+	return float64(base.Cycles) / float64(st.Cycles), nil
+}
+
+func describe(cfg config.Hardware) string {
+	if !cfg.MMU.Enabled {
+		s := "no-tlb"
+		if cfg.Sched.Policy != config.SchedLRR {
+			s += "+" + cfg.Sched.Policy.String()
+		}
+		if cfg.TBC.Mode != config.DivStack {
+			s += "+" + cfg.TBC.Mode.String()
+		}
+		return s
+	}
+	s := fmt.Sprintf("tlb%de/%dp", cfg.MMU.Entries, cfg.MMU.Ports)
+	if cfg.MMU.HitsUnderMiss {
+		s += "+hum"
+	}
+	if cfg.MMU.CacheOverlap {
+		s += "+ovl"
+	}
+	if cfg.MMU.PTWSched {
+		s += "+ptws"
+	}
+	if cfg.MMU.NumPTWs > 1 {
+		s += fmt.Sprintf("+%dptw", cfg.MMU.NumPTWs)
+	}
+	if cfg.MMU.IdealLatency {
+		s += "+ideal"
+	}
+	if cfg.Sched.Policy != config.SchedLRR {
+		s += "+" + cfg.Sched.Policy.String()
+	}
+	if cfg.TBC.Mode != config.DivStack {
+		s += "+" + cfg.TBC.Mode.String()
+	}
+	return s
+}
+
+// Figure describes one reproducible experiment.
+type Figure struct {
+	ID    string
+	Title string
+	Paper string // the paper's qualitative claim, for EXPERIMENTS.md
+	Run   func(h *Harness) (string, error)
+}
+
+// All returns every figure reproduction, in paper order.
+func All() []Figure {
+	return []Figure{
+		{"fig2", "Naive TLBs under LRR, CCWS and TBC", "naive 128e/3p TLBs degrade performance in every case; 30-50% below CCWS/TBC without TLBs", Figure2},
+		{"fig3", "Workload characterisation", "mem instrs <25% of total; TLB miss rates 22-70%; page divergence avg >4 (bfs) and >8 (mummer), max consistently high", Figure3},
+		{"fig4", "TLB vs L1 miss latency", "TLB misses cost about twice an L1 miss", Figure4},
+		{"fig6", "TLB size and port sweep", "128 entries best once real access latencies included; 3->4 ports recovers most port-starved loss", Figure6},
+		{"fig7", "Non-blocking TLBs", "hits-under-miss helps; overlapping cache access helps more (e.g. +8% streamcluster)", Figure7},
+		{"fig10", "PTW scheduling", "within ~1% of the impractical ideal TLB; walk refs cut 10-20%; walk cache hit rate up 5-8%", Figure10},
+		{"fig11", "Augmented 1 PTW vs naive multi-PTW", "augmented single walker outperforms 8 naive walkers by ~10%", Figure11},
+		{"fig13", "CCWS with TLBs", "CCWS+naive TLBs far below CCWS without TLBs; augmented MMU narrows but does not close the gap", Figure13},
+		{"fig16", "TA-CCWS weight sweep", "weighting TLB misses 4x cache misses recovers most CCWS loss on 4 of 6 workloads", Figure16},
+		{"fig17", "TCWS entries-per-warp sweep", "8 entries per warp VTA performs best, beating TA-CCWS with half the hardware", Figure17},
+		{"fig18", "TCWS LRU-depth weights", "LRU(1,2,4,8) best; within 1-15% of CCWS-without-TLBs", Figure18},
+		{"fig20", "TBC with TLBs", "TBC+TLBs loses ~20% vs TBC without TLBs; augmented TLBs alone beat TBC+augmented TLBs", Figure20},
+		{"fig22", "TLB-aware TBC CPM bits", "even 1-bit CPM counters help; 3 bits land within 3-12% of TBC without TLBs", Figure22},
+		{"figLP", "2MB large pages", "large pages collapse page divergence except bfs/mummer, which keep divergence ~3 and ~6", FigureLargePages},
+		{"figEXT", "Extensions beyond the paper", "no paper reference — page walk cache, shared L2 TLB, and software-managed walks vs the augmented MMU", FigureExtensions},
+	}
+}
+
+// ByID returns the figure with the given ID.
+func ByID(id string) (Figure, error) {
+	for _, f := range All() {
+		if f.ID == id {
+			return f, nil
+		}
+	}
+	ids := make([]string, 0)
+	for _, f := range All() {
+		ids = append(ids, f.ID)
+	}
+	sort.Strings(ids)
+	return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v)", id, ids)
+}
+
+// RunAll executes every figure and writes a combined report.
+func RunAll(h *Harness) error {
+	for _, f := range All() {
+		fmt.Fprintf(h.out, "\n## %s — %s\n\nPaper: %s\n\n", f.ID, f.Title, f.Paper)
+		body, err := f.Run(h)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.ID, err)
+		}
+		fmt.Fprintln(h.out, body)
+	}
+	return nil
+}

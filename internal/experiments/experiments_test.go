@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"gpummu/internal/config"
+	"gpummu/internal/workloads"
+)
+
+func tinyHarness(ws ...string) (*Harness, *bytes.Buffer) {
+	var buf bytes.Buffer
+	h := New(&buf, Options{
+		Size:     workloads.SizeTiny,
+		Seed:     1,
+		Machine:  config.SmallTest,
+		Workload: ws,
+	})
+	return h, &buf
+}
+
+func TestFigureIndexComplete(t *testing.T) {
+	figs := All()
+	// The paper's evaluation: figures 2,3,4,6,7,10,11,13,16,17,18,20,22
+	// plus the section-9 large-page study.
+	want := []string{"fig2", "fig3", "fig4", "fig6", "fig7", "fig10", "fig11",
+		"fig13", "fig16", "fig17", "fig18", "fig20", "fig22", "figLP", "figEXT"}
+	if len(figs) != len(want) {
+		t.Fatalf("%d figures, want %d", len(figs), len(want))
+	}
+	for i, id := range want {
+		if figs[i].ID != id {
+			t.Errorf("figure %d = %s, want %s", i, figs[i].ID, id)
+		}
+		if figs[i].Paper == "" || figs[i].Title == "" || figs[i].Run == nil {
+			t.Errorf("figure %s incomplete", figs[i].ID)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown figure found")
+	}
+}
+
+func TestHarnessCachesRuns(t *testing.T) {
+	h, _ := tinyHarness("kmeans")
+	cfg := h.cfgNoTLB()
+	a, err := h.Run("kmeans", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Run("kmeans", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("identical run not cached")
+	}
+}
+
+func TestFigure3Table(t *testing.T) {
+	h, _ := tinyHarness("kmeans")
+	out, err := Figure3(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "kmeans") || !strings.Contains(out, "tlb-miss-%") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+}
+
+func TestFigure4Table(t *testing.T) {
+	h, _ := tinyHarness("bfs")
+	out, err := Figure4(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ratio") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+}
+
+func TestFigureLargePages(t *testing.T) {
+	h, _ := tinyHarness("pointerchase")
+	out, err := FigureLargePages(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "2m-pagediv") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+}
+
+func TestSummaryListsAll(t *testing.T) {
+	s := Summary()
+	for _, f := range All() {
+		if !strings.Contains(s, f.ID) {
+			t.Errorf("summary missing %s", f.ID)
+		}
+	}
+}
+
+// TestRunAllTiny exercises every figure end to end on one tiny workload —
+// the full harness integration path that cmd/experiments drives.
+func TestRunAllTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness pass is slow")
+	}
+	h, buf := tinyHarness("bfs")
+	if err := RunAll(h); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, f := range All() {
+		if !strings.Contains(out, "## "+f.ID+" ") {
+			t.Errorf("report missing %s", f.ID)
+		}
+	}
+	if !strings.Contains(out, "bfs") {
+		t.Fatal("report contains no workload rows")
+	}
+}

@@ -1,0 +1,575 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"gpummu/internal/config"
+	"gpummu/internal/stats"
+)
+
+// cfgNoTLB returns the machine with translation disabled.
+func (h *Harness) cfgNoTLB() config.Hardware {
+	cfg := h.opt.Machine()
+	cfg.MMU = config.MMU{Enabled: false}
+	return cfg
+}
+
+func (h *Harness) cfgWith(m config.MMU) config.Hardware {
+	cfg := h.opt.Machine()
+	cfg.MMU = m
+	return cfg
+}
+
+// Figure2 reproduces the motivation figure: naive 128-entry 3-port TLBs
+// under plain LRR, CCWS, and TBC, all normalised to the no-TLB LRR
+// baseline.
+func Figure2(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "naive-tlb", "ccws-no-tlb", "ccws+tlb", "tbc-no-tlb", "tbc+tlb")
+	for _, w := range h.opt.Workload {
+		naive, err := h.Run(w, h.cfgWith(config.NaiveMMU(3)))
+		if err != nil {
+			return "", err
+		}
+		ccwsBase := h.cfgNoTLB()
+		ccwsBase.Sched.Policy = config.SchedCCWS
+		cb, err := h.Run(w, ccwsBase)
+		if err != nil {
+			return "", err
+		}
+		ccwsTLB := h.cfgWith(config.NaiveMMU(3))
+		ccwsTLB.Sched.Policy = config.SchedCCWS
+		ct, err := h.Run(w, ccwsTLB)
+		if err != nil {
+			return "", err
+		}
+		tbcBase := h.cfgNoTLB()
+		tbcBase.TBC.Mode = config.DivTBC
+		tb, err := h.Run(w, tbcBase)
+		if err != nil {
+			return "", err
+		}
+		tbcTLB := h.cfgWith(config.NaiveMMU(3))
+		tbcTLB.TBC.Mode = config.DivTBC
+		tt, err := h.Run(w, tbcTLB)
+		if err != nil {
+			return "", err
+		}
+		row := []interface{}{w}
+		for _, st := range []*stats.Sim{naive, cb, ct, tb, tt} {
+			s, err := h.speedup(w, st)
+			if err != nil {
+				return "", err
+			}
+			row = append(row, s)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String(), nil
+}
+
+// Figure3 reproduces the characterisation: memory instruction fraction,
+// TLB miss rate on 128-entry TLBs, and page divergence (average and max).
+func Figure3(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "mem-instr-%", "tlb-miss-%", "pagediv-avg", "pagediv-max")
+	for _, w := range h.opt.Workload {
+		st, err := h.Run(w, h.cfgWith(config.NaiveMMU(3)))
+		if err != nil {
+			return "", err
+		}
+		tbl.AddRow(w, 100*st.MemFraction(), 100*st.TLBMissRate(),
+			st.PageDivergence.Mean(), st.PageDivergence.Max())
+	}
+	return tbl.String(), nil
+}
+
+// Figure4 compares average TLB miss latency with average L1 miss latency.
+func Figure4(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "l1-miss-cycles", "tlb-miss-cycles", "ratio")
+	for _, w := range h.opt.Workload {
+		st, err := h.Run(w, h.cfgWith(config.NaiveMMU(3)))
+		if err != nil {
+			return "", err
+		}
+		l1 := st.L1MissLat.Mean()
+		tlb := st.TLBMissLat.Mean()
+		ratio := 0.0
+		if l1 > 0 {
+			ratio = tlb / l1
+		}
+		tbl.AddRow(w, l1, tlb, ratio)
+	}
+	return tbl.String(), nil
+}
+
+// Figure6 sweeps TLB sizes (with realistic access-latency penalties) and
+// port counts, reporting speedup vs the no-TLB baseline.
+func Figure6(h *Harness) (string, error) {
+	sizes := []int{64, 128, 256, 512}
+	ports := []int{3, 4, 8, 16, 32}
+	tbl := stats.NewTable(append([]string{"workload", "ports"}, func() []string {
+		var s []string
+		for _, z := range sizes {
+			s = append(s, fmt.Sprintf("%de", z))
+		}
+		return s
+	}()...)...)
+	for _, w := range h.opt.Workload {
+		for _, p := range ports {
+			row := []interface{}{w, p}
+			for _, z := range sizes {
+				m := config.NaiveMMU(p)
+				m.Entries = z
+				st, err := h.Run(w, h.cfgWith(m))
+				if err != nil {
+					return "", err
+				}
+				s, err := h.speedup(w, st)
+				if err != nil {
+					return "", err
+				}
+				row = append(row, s)
+			}
+			tbl.AddRow(row...)
+		}
+	}
+	return tbl.String(), nil
+}
+
+// Figure7 adds non-blocking facilities stepwise and compares against the
+// impractical ideal TLB.
+func Figure7(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "blocking", "+hits-under-miss", "+cache-overlap", "ideal-512e-32p")
+	for _, w := range h.opt.Workload {
+		blocking := config.NaiveMMU(4)
+		hum := blocking
+		hum.HitsUnderMiss = true
+		ovl := hum
+		ovl.CacheOverlap = true
+		ideal := config.MMU{}.Ideal()
+		row := []interface{}{w}
+		for _, m := range []config.MMU{blocking, hum, ovl, ideal} {
+			st, err := h.Run(w, h.cfgWith(m))
+			if err != nil {
+				return "", err
+			}
+			s, err := h.speedup(w, st)
+			if err != nil {
+				return "", err
+			}
+			row = append(row, s)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String(), nil
+}
+
+// Figure10 adds PTW scheduling on top of the non-blocking TLB and reports
+// the walk-reference savings the paper quotes in the text.
+func Figure10(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "nonblocking", "+ptw-sched", "ideal", "refs-elim-%", "walk$hit-%")
+	for _, w := range h.opt.Workload {
+		nb := config.NaiveMMU(4)
+		nb.HitsUnderMiss = true
+		nb.CacheOverlap = true
+		sched := nb
+		sched.PTWSched = true
+		ideal := config.MMU{}.Ideal()
+
+		row := []interface{}{w}
+		var schedSt *stats.Sim
+		for _, m := range []config.MMU{nb, sched, ideal} {
+			st, err := h.Run(w, h.cfgWith(m))
+			if err != nil {
+				return "", err
+			}
+			if m.PTWSched && !m.IdealLatency {
+				schedSt = st
+			}
+			s, err := h.speedup(w, st)
+			if err != nil {
+				return "", err
+			}
+			row = append(row, s)
+		}
+		walkHit := 0.0
+		if schedSt.WalkRefs > 0 {
+			walkHit = 100 * float64(schedSt.WalkCacheHits) / float64(schedSt.WalkRefs)
+		}
+		row = append(row, 100*schedSt.WalkRefsEliminated(), walkHit)
+		tbl.AddRow(row...)
+	}
+	return tbl.String(), nil
+}
+
+// Figure11 compares the augmented single-walker design against naive TLBs
+// with 2, 4, and 8 walkers.
+func Figure11(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "augmented-1ptw", "naive-2ptw", "naive-4ptw", "naive-8ptw")
+	for _, w := range h.opt.Workload {
+		row := []interface{}{w}
+		aug, err := h.Run(w, h.cfgWith(config.AugmentedMMU()))
+		if err != nil {
+			return "", err
+		}
+		s, err := h.speedup(w, aug)
+		if err != nil {
+			return "", err
+		}
+		row = append(row, s)
+		for _, n := range []int{2, 4, 8} {
+			m := config.NaiveMMU(4)
+			m.NumPTWs = n
+			st, err := h.Run(w, h.cfgWith(m))
+			if err != nil {
+				return "", err
+			}
+			s, err := h.speedup(w, st)
+			if err != nil {
+				return "", err
+			}
+			row = append(row, s)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String(), nil
+}
+
+// Figure13 shows CCWS with and without naive/augmented TLBs.
+func Figure13(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "naive-tlb", "augmented", "ccws-no-tlb", "ccws+naive", "ccws+augmented")
+	for _, w := range h.opt.Workload {
+		mk := func(m config.MMU, pol config.SchedulerPolicy) (float64, error) {
+			cfg := h.cfgWith(m)
+			cfg.Sched.Policy = pol
+			st, err := h.Run(w, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return h.speedup(w, st)
+		}
+		row := []interface{}{w}
+		for _, c := range []struct {
+			m   config.MMU
+			pol config.SchedulerPolicy
+		}{
+			{config.NaiveMMU(4), config.SchedLRR},
+			{config.AugmentedMMU(), config.SchedLRR},
+			{config.MMU{Enabled: false}, config.SchedCCWS},
+			{config.NaiveMMU(4), config.SchedCCWS},
+			{config.AugmentedMMU(), config.SchedCCWS},
+		} {
+			s, err := mk(c.m, c.pol)
+			if err != nil {
+				return "", err
+			}
+			row = append(row, s)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String(), nil
+}
+
+// Figure16 sweeps TA-CCWS TLB-miss weights.
+func Figure16(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "ccws-no-tlb", "ccws+aug", "ta-ccws-2:1", "ta-ccws-4:1", "ta-ccws-8:1")
+	for _, w := range h.opt.Workload {
+		row := []interface{}{w}
+		base := h.cfgNoTLB()
+		base.Sched.Policy = config.SchedCCWS
+		st, err := h.Run(w, base)
+		if err != nil {
+			return "", err
+		}
+		s, err := h.speedup(w, st)
+		if err != nil {
+			return "", err
+		}
+		row = append(row, s)
+
+		plain := h.cfgWith(config.AugmentedMMU())
+		plain.Sched.Policy = config.SchedCCWS
+		st, err = h.Run(w, plain)
+		if err != nil {
+			return "", err
+		}
+		if s, err = h.speedup(w, st); err != nil {
+			return "", err
+		}
+		row = append(row, s)
+
+		for _, wt := range []int{2, 4, 8} {
+			cfg := h.cfgWith(config.AugmentedMMU())
+			cfg.Sched.Policy = config.SchedTACCWS
+			cfg.Sched.TLBMissWeight = wt
+			st, err := h.Run(w, cfg)
+			if err != nil {
+				return "", err
+			}
+			if s, err = h.speedup(w, st); err != nil {
+				return "", err
+			}
+			row = append(row, s)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String(), nil
+}
+
+// Figure17 sweeps TCWS victim-tag-array entries per warp.
+func Figure17(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "ccws-no-tlb", "ta-ccws-4:1", "tcws-2epw", "tcws-4epw", "tcws-8epw", "tcws-16epw")
+	for _, w := range h.opt.Workload {
+		row := []interface{}{w}
+		base := h.cfgNoTLB()
+		base.Sched.Policy = config.SchedCCWS
+		st, err := h.Run(w, base)
+		if err != nil {
+			return "", err
+		}
+		s, err := h.speedup(w, st)
+		if err != nil {
+			return "", err
+		}
+		row = append(row, s)
+
+		ta := h.cfgWith(config.AugmentedMMU())
+		ta.Sched.Policy = config.SchedTACCWS
+		ta.Sched.TLBMissWeight = 4
+		st, err = h.Run(w, ta)
+		if err != nil {
+			return "", err
+		}
+		if s, err = h.speedup(w, st); err != nil {
+			return "", err
+		}
+		row = append(row, s)
+
+		for _, epw := range []int{2, 4, 8, 16} {
+			cfg := h.cfgWith(config.AugmentedMMU())
+			cfg.Sched.Policy = config.SchedTCWS
+			cfg.Sched.TLBMissWeight = 4
+			cfg.Sched.VTAEntriesPerWarp = epw
+			st, err := h.Run(w, cfg)
+			if err != nil {
+				return "", err
+			}
+			if s, err = h.speedup(w, st); err != nil {
+				return "", err
+			}
+			row = append(row, s)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String(), nil
+}
+
+// Figure18 sweeps TCWS LRU-depth weight schemes.
+func Figure18(h *Harness) (string, error) {
+	schemes := []struct {
+		name string
+		ws   []int
+	}{
+		{"lru1234", []int{1, 2, 3, 4}},
+		{"lru1248", []int{1, 2, 4, 8}},
+		{"lru1369", []int{1, 3, 6, 9}},
+	}
+	tbl := stats.NewTable("workload", "ccws-no-tlb", "tcws-8epw", "lru(1,2,3,4)", "lru(1,2,4,8)", "lru(1,3,6,9)")
+	for _, w := range h.opt.Workload {
+		row := []interface{}{w}
+		base := h.cfgNoTLB()
+		base.Sched.Policy = config.SchedCCWS
+		st, err := h.Run(w, base)
+		if err != nil {
+			return "", err
+		}
+		s, err := h.speedup(w, st)
+		if err != nil {
+			return "", err
+		}
+		row = append(row, s)
+
+		plain := h.cfgWith(config.AugmentedMMU())
+		plain.Sched.Policy = config.SchedTCWS
+		plain.Sched.TLBMissWeight = 4
+		plain.Sched.VTAEntriesPerWarp = 8
+		st, err = h.Run(w, plain)
+		if err != nil {
+			return "", err
+		}
+		if s, err = h.speedup(w, st); err != nil {
+			return "", err
+		}
+		row = append(row, s)
+
+		for _, sc := range schemes {
+			cfg := h.cfgWith(config.AugmentedMMU())
+			cfg.Sched.Policy = config.SchedTCWS
+			cfg.Sched.TLBMissWeight = 4
+			cfg.Sched.VTAEntriesPerWarp = 8
+			cfg.Sched.LRUDepthWeights = sc.ws
+			st, err := h.Run(w, cfg)
+			if err != nil {
+				return "", err
+			}
+			if s, err = h.speedup(w, st); err != nil {
+				return "", err
+			}
+			row = append(row, s)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String(), nil
+}
+
+// Figure20 shows TBC with and without naive/augmented TLBs.
+func Figure20(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "tbc-no-tlb", "tbc+naive", "tbc+augmented", "naive-no-tbc", "augmented-no-tbc")
+	for _, w := range h.opt.Workload {
+		mk := func(m config.MMU, mode config.DivergenceMode) (float64, error) {
+			cfg := h.cfgWith(m)
+			cfg.TBC.Mode = mode
+			st, err := h.Run(w, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return h.speedup(w, st)
+		}
+		row := []interface{}{w}
+		for _, c := range []struct {
+			m    config.MMU
+			mode config.DivergenceMode
+		}{
+			{config.MMU{Enabled: false}, config.DivTBC},
+			{config.NaiveMMU(4), config.DivTBC},
+			{config.AugmentedMMU(), config.DivTBC},
+			{config.NaiveMMU(4), config.DivStack},
+			{config.AugmentedMMU(), config.DivStack},
+		} {
+			s, err := mk(c.m, c.mode)
+			if err != nil {
+				return "", err
+			}
+			row = append(row, s)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String(), nil
+}
+
+// Figure22 sweeps CPM counter widths for TLB-aware TBC.
+func Figure22(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "tbc-no-tlb", "tbc+augmented", "tlb-tbc-1bit", "tlb-tbc-2bit", "tlb-tbc-3bit")
+	for _, w := range h.opt.Workload {
+		row := []interface{}{w}
+		base := h.cfgNoTLB()
+		base.TBC.Mode = config.DivTBC
+		st, err := h.Run(w, base)
+		if err != nil {
+			return "", err
+		}
+		s, err := h.speedup(w, st)
+		if err != nil {
+			return "", err
+		}
+		row = append(row, s)
+
+		agn := h.cfgWith(config.AugmentedMMU())
+		agn.TBC.Mode = config.DivTBC
+		st, err = h.Run(w, agn)
+		if err != nil {
+			return "", err
+		}
+		if s, err = h.speedup(w, st); err != nil {
+			return "", err
+		}
+		row = append(row, s)
+
+		for _, bits := range []int{1, 2, 3} {
+			cfg := h.cfgWith(config.AugmentedMMU())
+			cfg.TBC.Mode = config.DivTLBTBC
+			cfg.TBC.CPMBits = bits
+			st, err := h.Run(w, cfg)
+			if err != nil {
+				return "", err
+			}
+			if s, err = h.speedup(w, st); err != nil {
+				return "", err
+			}
+			row = append(row, s)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String(), nil
+}
+
+// FigureLargePages reports 2 MB-page divergence and overheads (section 9).
+func FigureLargePages(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "4k-pagediv", "2m-pagediv", "4k-missrate-%", "2m-missrate-%", "2m-speedup-vs-no-tlb")
+	for _, w := range h.opt.Workload {
+		small, err := h.Run(w, h.cfgWith(config.AugmentedMMU()))
+		if err != nil {
+			return "", err
+		}
+		cfg := h.cfgWith(config.AugmentedMMU())
+		cfg.PageShift = 21
+		big, err := h.Run(w, cfg)
+		if err != nil {
+			return "", err
+		}
+		baseCfg := h.cfgNoTLB()
+		baseCfg.PageShift = 21
+		base2m, err := h.Run(w, baseCfg)
+		if err != nil {
+			return "", err
+		}
+		sp := 0.0
+		if big.Cycles > 0 {
+			sp = float64(base2m.Cycles) / float64(big.Cycles)
+		}
+		tbl.AddRow(w, small.PageDivergence.Mean(), big.PageDivergence.Mean(),
+			100*small.TLBMissRate(), 100*big.TLBMissRate(), sp)
+	}
+	return tbl.String(), nil
+}
+
+// FigureExtensions evaluates this repository's beyond-the-paper designs
+// (section 10 "low-hanging fruit"): a page walk cache, a chip-level shared
+// L2 TLB, and software-managed walks, all against the augmented MMU.
+func FigureExtensions(h *Harness) (string, error) {
+	tbl := stats.NewTable("workload", "augmented", "+pwc64", "+shared-l2-tlb", "software-walks")
+	for _, w := range h.opt.Workload {
+		aug := config.AugmentedMMU()
+		pwc := aug
+		pwc.PWCEntries = 64
+		sh := aug
+		sh.SharedTLBEntries = 4096
+		sw := config.NaiveMMU(4)
+		sw.SoftwareWalks = true
+		sw.SoftwareWalkOverhead = 300
+
+		row := []interface{}{w}
+		for _, m := range []config.MMU{aug, pwc, sh, sw} {
+			st, err := h.Run(w, h.cfgWith(m))
+			if err != nil {
+				return "", err
+			}
+			s, err := h.speedup(w, st)
+			if err != nil {
+				return "", err
+			}
+			row = append(row, s)
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl.String(), nil
+}
+
+// Summary renders a short all-figures index.
+func Summary() string {
+	var b strings.Builder
+	for _, f := range All() {
+		fmt.Fprintf(&b, "%-6s %s\n", f.ID, f.Title)
+	}
+	return b.String()
+}

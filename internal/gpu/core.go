@@ -1,0 +1,242 @@
+package gpu
+
+import (
+	"gpummu/internal/config"
+	"gpummu/internal/core"
+	"gpummu/internal/engine"
+	"gpummu/internal/kernels"
+	"gpummu/internal/mem"
+)
+
+// Core is one shader core: its warps, L1 data cache, MMU, scheduler state,
+// and (under TBC) the Common Page Matrix.
+type Core struct {
+	id int
+	g  *GPU
+
+	mmu     *core.MMU
+	l1      *mem.Cache
+	l1Port  *engine.SlottedResource
+	l1MSHRs []engine.Cycle // next-free per miss-status register
+	sched   *sched
+	cpm     *core.CPM
+
+	blocks      []*Block
+	rrPtr       int
+	lastIssued  *Warp
+	pendingIdle bool
+	nextIssue   engine.Cycle // issue stage free at this cycle
+}
+
+func newCore(id int, g *GPU) *Core {
+	cfg := g.cfg
+	c := &Core{id: id, g: g}
+	histLen := 0
+	if cfg.TBC.Mode == config.DivTLBTBC {
+		histLen = cfg.TBC.CPMHistory
+	}
+	c.mmu = core.NewMMU(cfg.MMU, g.sys, g.tr, g.st, histLen)
+	c.l1 = mem.NewCache(cfg.L1Bytes, cfg.L1LineSize, cfg.L1Assoc)
+	c.l1Port = engine.NewSlottedResource(2, 32)
+	nm := cfg.L1MSHRs
+	if nm < 1 {
+		nm = 32
+	}
+	c.l1MSHRs = make([]engine.Cycle, nm)
+	c.sched = newSched(c)
+	if cfg.TBC.Mode == config.DivTLBTBC {
+		c.cpm = core.NewCPM(cfg.WarpsPerCore, cfg.TBC.CPMBits, cfg.TBC.CPMFlushPeriod)
+		c.mmu.AttachCPM(c.cpm)
+	}
+	return c
+}
+
+func (c *Core) reset() {
+	c.blocks = nil
+	c.rrPtr = 0
+	c.lastIssued = nil
+	c.nextIssue = 0
+	c.l1.Flush()
+	c.mmu.Shootdown()
+	for i := range c.l1MSHRs {
+		c.l1MSHRs[i] = 0
+	}
+	c.sched.reset()
+}
+
+// warpsPerBlock returns warps needed by one thread block of the current
+// launch.
+func (c *Core) warpsPerBlock() int {
+	w := c.g.cfg.WarpWidth
+	return (c.g.launch.BlockDim + w - 1) / w
+}
+
+// capacityBlocks is how many blocks fit on this core concurrently.
+func (c *Core) capacityBlocks() int {
+	n := c.g.cfg.WarpsPerCore / c.warpsPerBlock()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// fillBlocks dispatches pending grid blocks onto free block slots.
+func (c *Core) fillBlocks() {
+	capa := c.capacityBlocks()
+	used := make(map[int]bool)
+	for _, b := range c.blocks {
+		used[b.slotIdx] = true
+	}
+	for len(c.blocks) < capa && c.g.nextBlock < c.g.launch.Grid {
+		slot := -1
+		for i := 0; i < capa; i++ {
+			if !used[i] {
+				slot = i
+				break
+			}
+		}
+		if slot < 0 {
+			break
+		}
+		used[slot] = true
+		b := newBlock(c, c.g.nextBlock, slot)
+		c.g.nextBlock++
+		c.g.liveBlocks++
+		c.blocks = append(c.blocks, b)
+	}
+}
+
+// retireBlock removes a finished block and backfills from the grid.
+func (c *Core) retireBlock(b *Block) {
+	for i, x := range c.blocks {
+		if x == b {
+			c.blocks = append(c.blocks[:i], c.blocks[i+1:]...)
+			break
+		}
+	}
+	c.g.liveBlocks--
+	c.g.emit(Event{Kind: EvBlockEnd, Core: int16(c.id), Block: int32(b.id), Warp: -1, A: uint64(b.id)})
+	c.fillBlocks()
+}
+
+// liveWarps appends all not-Done warps across resident blocks to dst.
+func (c *Core) liveWarps(dst []*Warp) []*Warp {
+	for _, b := range c.blocks {
+		for _, w := range b.warps {
+			if w.state != WDone {
+				dst = append(dst, w)
+			}
+		}
+	}
+	return dst
+}
+
+// tick advances the core one cycle: issue up to IssueWidth ready warps in
+// scheduler order. It reports whether anything issued and the next cycle at
+// which this core has work to do.
+func (c *Core) tick(now engine.Cycle) (issuedAny bool, next engine.Cycle) {
+	if len(c.blocks) == 0 {
+		return false, noEvent
+	}
+	for _, b := range c.blocks {
+		if b.tbc != nil {
+			b.tbc.maintain(now)
+		}
+	}
+
+	warps := c.liveWarps(make([]*Warp, 0, 64))
+	if len(warps) == 0 {
+		// Blocks whose warps all finished retire in stepExit; reaching
+		// here with live blocks but no warps means TBC bookkeeping has
+		// pending work next maintain round.
+		return false, now + 1
+	}
+
+	// The issue stage drains one warp instruction every IssuePeriod
+	// cycles (WarpWidth lanes through an IssueWidth-wide pipeline).
+	if c.nextIssue > now {
+		next := c.nextIssue
+		for _, w := range warps {
+			if w.state == WReady && w.readyAt > now && w.readyAt < next {
+				next = w.readyAt
+			}
+		}
+		return false, next
+	}
+
+	order := c.sched.order(now, warps)
+	issued := 0
+	memGated := false
+	for _, w := range order {
+		if issued >= 1 {
+			break
+		}
+		if w.state != WReady || w.readyAt > now {
+			continue
+		}
+		ok, gated := c.step(now, w)
+		if gated {
+			memGated = true
+		}
+		if ok {
+			issued++
+			c.lastIssued = w
+		}
+	}
+	if issued > 0 {
+		c.sched.afterIssue()
+		c.nextIssue = now + engine.Cycle(c.g.cfg.IssuePeriod())
+		return true, c.nextIssue
+	}
+
+	// Nothing issued: find the next event.
+	next = noEvent
+	for _, w := range warps {
+		if w.state == WReady && w.readyAt > now && w.readyAt < next {
+			next = w.readyAt
+		}
+	}
+	if memGated {
+		if ev := c.mmu.NextEvent(now); ev != 0 && ev < next {
+			next = ev
+		}
+	}
+	if next == noEvent {
+		// All warps waiting on barriers/TBC with no timer: the releasing
+		// event happens when another warp arrives, which requires some
+		// warp to be runnable. If truly nothing is runnable the kernel
+		// deadlocked; surface that via noEvent so Run can diagnose.
+		for _, w := range warps {
+			if w.state == WReady {
+				return false, now + 1
+			}
+		}
+	}
+	return false, next
+}
+
+// step executes one instruction of warp w. It returns whether the warp
+// issued and whether it was blocked by the MMU memory gate (blocking TLB
+// semantics: memory instructions stall while walks are outstanding, but
+// non-memory instructions from other warps proceed).
+func (c *Core) step(now engine.Cycle, w *Warp) (issued, memGated bool) {
+	in := &c.g.launch.Program.Code[w.curPC()]
+	lanes := countLanes(w.curLanes())
+	c.g.st.ActiveLanes.Observe(lanes)
+	if c.g.tracer != nil {
+		c.g.emit(Event{Cycle: now, Kind: EvIssue, Core: int16(c.id),
+			Block: int32(w.block.id), Warp: int16(w.slot),
+			A: uint64(w.curPC()), B: uint64(lanes)})
+	}
+	if in.Kind == kernels.KindLoad || in.Kind == kernels.KindStore {
+		if !c.mmu.CanAcceptMemOp(now) {
+			return false, true
+		}
+		c.execMem(now, w, in)
+		c.g.st.Instructions.Inc()
+		return true, false
+	}
+	c.execCtrlOrALU(now, w, in)
+	c.g.st.Instructions.Inc()
+	return true, false
+}

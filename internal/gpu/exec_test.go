@@ -1,0 +1,265 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpummu/internal/config"
+	"gpummu/internal/kernels"
+	"gpummu/internal/stats"
+	"gpummu/internal/vm"
+)
+
+// buildGPU wires a small machine over a fresh address space.
+func buildGPU(t *testing.T, cfg config.Hardware) (*GPU, *vm.AddressSpace, *stats.Sim) {
+	t.Helper()
+	as := vm.NewAddressSpace(vm.NewPhysMem(), vm.NewFrameAllocator(1<<20), vm.PageShift4K)
+	st := &stats.Sim{}
+	g, err := New(cfg, as, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MaxCycles = 10_000_000
+	return g, as, st
+}
+
+// runKernel runs l and fails the test on error.
+func runKernel(t *testing.T, g *GPU, l *kernels.Launch) {
+	t.Helper()
+	if _, err := g.Run(l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNestedDivergence executes a kernel with a divergent branch inside a
+// divergent branch and checks each thread's result.
+//
+//	if lane%2: x = 10; if lane%4==1 { x += 5 } else { x += 7 }
+//	else:      x = 1
+//	out[tid] = x + 100 (after reconvergence)
+func TestNestedDivergence(t *testing.T) {
+	for _, mode := range []config.DivergenceMode{config.DivStack, config.DivTBC, config.DivTLBTBC} {
+		cfg := config.SmallTest()
+		cfg.TBC.Mode = mode
+		g, as, _ := buildGPU(t, cfg)
+		out := as.Malloc(64 * 8)
+
+		const (
+			rTid, rX, rC, rAddr, rBase, rT kernels.Reg = 0, 1, 2, 3, 4, 5
+		)
+		b := kernels.NewBuilder("nested")
+		b.Special(rTid, kernels.SpecGlobalTID)
+		b.AndImm(rC, rTid, 1)
+		b.Bnz(rC, "odd", "join")
+		b.MovImm(rX, 1)
+		b.Jmp("join")
+		b.Label("odd")
+		b.MovImm(rX, 10)
+		b.AndImm(rC, rTid, 3)
+		b.SeqImm(rC, rC, 1)
+		b.Bnz(rC, "plus5", "innerjoin")
+		b.AddImm(rX, rX, 7)
+		b.Jmp("innerjoin")
+		b.Label("plus5")
+		b.AddImm(rX, rX, 5)
+		b.Label("innerjoin")
+		b.Jmp("join")
+		b.Label("join")
+		b.AddImm(rX, rX, 100)
+		b.ShlImm(rAddr, rTid, 3)
+		b.Special(rBase, kernels.SpecParam0)
+		b.Add(rAddr, rAddr, rBase)
+		b.St(rAddr, 0, rX, 8)
+		b.Exit()
+		prog := b.MustBuild()
+
+		l := &kernels.Launch{Program: prog, Grid: 1, BlockDim: 64}
+		l.Params[0] = out
+		runKernel(t, g, l)
+
+		for tid := 0; tid < 64; tid++ {
+			want := uint64(101)
+			if tid%2 == 1 {
+				if tid%4 == 1 {
+					want = 115
+				} else {
+					want = 117
+				}
+			}
+			if got := as.Read64(out + uint64(tid)*8); got != want {
+				t.Fatalf("mode %v: thread %d = %d, want %d", mode, tid, got, want)
+			}
+		}
+	}
+}
+
+// TestDivergentLoopTripCounts runs a loop with per-thread trip counts
+// (tid%8 iterations) under all divergence modes.
+func TestDivergentLoopTripCounts(t *testing.T) {
+	for _, mode := range []config.DivergenceMode{config.DivStack, config.DivTBC, config.DivTLBTBC} {
+		cfg := config.SmallTest()
+		cfg.TBC.Mode = mode
+		g, as, _ := buildGPU(t, cfg)
+		out := as.Malloc(96 * 8)
+
+		const (
+			rTid, rN, rI, rAcc, rC, rAddr, rBase kernels.Reg = 0, 1, 2, 3, 4, 5, 6
+		)
+		b := kernels.NewBuilder("trips")
+		b.Special(rTid, kernels.SpecGlobalTID)
+		b.AndImm(rN, rTid, 7)
+		b.MovImm(rI, 0)
+		b.MovImm(rAcc, 0)
+		b.Label("head")
+		b.Sltu(rC, rI, rN)
+		b.Bz(rC, "exitloop", "exitloop")
+		b.AddImm(rAcc, rAcc, 3)
+		b.AddImm(rI, rI, 1)
+		b.Jmp("head")
+		b.Label("exitloop")
+		b.ShlImm(rAddr, rTid, 3)
+		b.Special(rBase, kernels.SpecParam0)
+		b.Add(rAddr, rAddr, rBase)
+		b.St(rAddr, 0, rAcc, 8)
+		b.Exit()
+
+		l := &kernels.Launch{Program: b.MustBuild(), Grid: 1, BlockDim: 96}
+		l.Params[0] = out
+		runKernel(t, g, l)
+
+		for tid := 0; tid < 96; tid++ {
+			want := uint64(tid%8) * 3
+			if got := as.Read64(out + uint64(tid)*8); got != want {
+				t.Fatalf("mode %v: thread %d = %d, want %d", mode, tid, got, want)
+			}
+		}
+	}
+}
+
+// TestBarrierOrdering: producer warps write, all warps barrier, consumer
+// warps read — results must observe the pre-barrier writes.
+func TestBarrierOrdering(t *testing.T) {
+	cfg := config.SmallTest()
+	g, as, _ := buildGPU(t, cfg)
+	buf := as.Malloc(256 * 8)
+	out := as.Malloc(256 * 8)
+
+	const (
+		rTid, rV, rAddr, rBase, rPeer kernels.Reg = 0, 1, 2, 3, 4
+	)
+	b := kernels.NewBuilder("barrier")
+	b.Special(rTid, kernels.SpecBlockTID)
+	// buf[tid] = tid*7
+	b.MulImm(rV, rTid, 7)
+	b.ShlImm(rAddr, rTid, 3)
+	b.Special(rBase, kernels.SpecParam0)
+	b.Add(rAddr, rAddr, rBase)
+	b.St(rAddr, 0, rV, 8)
+	b.Bar()
+	// out[tid] = buf[(tid+1) % 256]
+	b.AddImm(rPeer, rTid, 1)
+	b.AndImm(rPeer, rPeer, 255)
+	b.ShlImm(rAddr, rPeer, 3)
+	b.Add(rAddr, rAddr, rBase)
+	b.Ld(rV, rAddr, 0, 8)
+	b.ShlImm(rAddr, rTid, 3)
+	b.Special(rBase, kernels.SpecParam1)
+	b.Add(rAddr, rAddr, rBase)
+	b.St(rAddr, 0, rV, 8)
+	b.Exit()
+
+	l := &kernels.Launch{Program: b.MustBuild(), Grid: 1, BlockDim: 256}
+	l.Params[0] = buf
+	l.Params[1] = out
+	runKernel(t, g, l)
+
+	for tid := 0; tid < 256; tid++ {
+		want := uint64((tid+1)%256) * 7
+		if got := as.Read64(out + uint64(tid)*8); got != want {
+			t.Fatalf("thread %d read %d, want %d", tid, got, want)
+		}
+	}
+}
+
+// TestCoalescingStats: a fully coalesced access is one line and one page;
+// a page-strided access is WarpWidth of each.
+func TestCoalescingStats(t *testing.T) {
+	cfg := config.SmallTest()
+	cfg.MMU = config.AugmentedMMU()
+
+	build := func(strideShift int64) (*GPU, *vm.AddressSpace, *stats.Sim, *kernels.Launch) {
+		g, as, st := buildGPU(t, cfg)
+		data := as.Malloc(64 << 12)
+		const (
+			rTid, rAddr, rBase, rV kernels.Reg = 0, 1, 2, 3
+		)
+		b := kernels.NewBuilder("stride")
+		b.Special(rTid, kernels.SpecGlobalTID)
+		b.ShlImm(rAddr, rTid, strideShift)
+		b.Special(rBase, kernels.SpecParam0)
+		b.Add(rAddr, rAddr, rBase)
+		b.Ld(rV, rAddr, 0, 8)
+		b.Exit()
+		l := &kernels.Launch{Program: b.MustBuild(), Grid: 1, BlockDim: 32}
+		l.Params[0] = data
+		return g, as, st, l
+	}
+
+	g, _, st, l := build(3) // 8-byte stride: 32 lanes in 2 lines, 1 page
+	runKernel(t, g, l)
+	if st.PageDivergence.Max() != 1 {
+		t.Fatalf("coalesced page divergence = %d", st.PageDivergence.Max())
+	}
+	if st.LineDivergence.Max() != 2 {
+		t.Fatalf("coalesced line divergence = %d", st.LineDivergence.Max())
+	}
+
+	g, _, st, l = build(12) // page stride: every lane its own page
+	runKernel(t, g, l)
+	if st.PageDivergence.Max() != 32 {
+		t.Fatalf("strided page divergence = %d", st.PageDivergence.Max())
+	}
+}
+
+// TestIssuePeriodBound: a pure-ALU kernel cannot finish faster than
+// instructions × IssuePeriod / cores.
+func TestIssuePeriodBound(t *testing.T) {
+	cfg := config.SmallTest()
+	g, as, st := buildGPU(t, cfg)
+	out := as.Malloc(8)
+
+	const rA kernels.Reg = 1
+	b := kernels.NewBuilder("alu")
+	for i := 0; i < 50; i++ {
+		b.AddImm(rA, rA, 1)
+	}
+	const rAddr, rBase kernels.Reg = 2, 3
+	b.Special(rAddr, kernels.SpecGlobalTID)
+	b.Special(rBase, kernels.SpecParam0)
+	b.St(rBase, 0, rA, 8)
+	b.Exit()
+
+	l := &kernels.Launch{Program: b.MustBuild(), Grid: 1, BlockDim: 32}
+	l.Params[0] = out
+	runKernel(t, g, l)
+
+	minCycles := uint64(st.Instructions.Value()) * uint64(cfg.IssuePeriod())
+	if st.Cycles < minCycles {
+		t.Fatalf("cycles %d below issue-stage bound %d", st.Cycles, minCycles)
+	}
+	if as.Read64(out) != 50 {
+		t.Fatalf("ALU chain = %d", as.Read64(out))
+	}
+}
+
+// TestDeterminism: identical runs produce identical cycle counts.
+func TestDeterminism(t *testing.T) {
+	run := func() uint64 {
+		cfg := config.SmallTest()
+		cfg.MMU = config.AugmentedMMU()
+		st := runWith(t, "bfs", cfg)
+		return st.Cycles
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,169 @@
+// Package gpu implements the SIMT machine: shader cores, warps, the warp
+// schedulers (round-robin, GTO, and the CCWS family), per-warp SIMT
+// reconvergence stacks, thread block compaction, and the load-store path
+// that drives the MMU in internal/core. The machine is cycle-driven with
+// event fast-forwarding: when no core can issue, the clock jumps to the
+// next completion.
+package gpu
+
+import (
+	"fmt"
+	"math"
+
+	"gpummu/internal/config"
+	"gpummu/internal/core"
+	"gpummu/internal/engine"
+	"gpummu/internal/kernels"
+	"gpummu/internal/mem"
+	"gpummu/internal/stats"
+	"gpummu/internal/vm"
+)
+
+// noEvent marks "no future event" from a core tick.
+const noEvent = engine.Cycle(math.MaxUint64)
+
+// GPU is the whole simulated device: shader cores plus the shared memory
+// system, executing kernels over a unified address space.
+type GPU struct {
+	cfg    config.Hardware
+	sys    *mem.System
+	tr     *vm.Translator
+	as     *vm.AddressSpace
+	st     *stats.Sim
+	cores  []*Core
+	launch *kernels.Launch
+
+	nextBlock  int // next block id to dispatch
+	liveBlocks int
+	tracer     Tracer
+
+	// MaxCycles, when non-zero, aborts Run past this cycle with a
+	// diagnostic — a guard against malformed kernels that never finish.
+	MaxCycles uint64
+}
+
+// dumpState summarises warp states for deadlock/runaway diagnostics.
+func (g *GPU) dumpState() string {
+	s := ""
+	for _, c := range g.cores {
+		for _, b := range c.blocks {
+			s += fmt.Sprintf("core %d block %d live=%d:", c.id, b.id, b.liveThreads)
+			for _, w := range b.warps {
+				s += fmt.Sprintf(" [slot%d st%d pc%d rdy%d lanes%d]", w.slot, w.state, w.curPC(), w.readyAt, countLanes(w.curLanes()))
+			}
+			if b.tbc != nil {
+				s += fmt.Sprintf(" tbcstack=%d", len(b.tbc.stack))
+			}
+			s += "\n"
+		}
+	}
+	return s
+}
+
+// New builds a GPU with the given hardware configuration over the address
+// space as, recording statistics into st.
+func New(cfg config.Hardware, as *vm.AddressSpace, st *stats.Sim) (*GPU, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if uint(cfg.PageShift) != as.PageShift() {
+		return nil, fmt.Errorf("gpu: config page shift %d != address space %d", cfg.PageShift, as.PageShift())
+	}
+	g := &GPU{
+		cfg: cfg,
+		as:  as,
+		st:  st,
+		tr:  vm.NewTranslator(as.PT, as.PageShift()),
+	}
+	g.sys = mem.NewSystem(cfg, st)
+	var shared *core.SharedTLB
+	if cfg.MMU.Enabled && cfg.MMU.SharedTLBEntries > 0 {
+		lat := cfg.MMU.SharedTLBLatency
+		if lat <= 0 {
+			lat = 2 * cfg.ICNTLatency
+		}
+		shared = core.NewSharedTLB(cfg.MMU.SharedTLBEntries, 4, cfg.NumCores/2+1, lat, st)
+	}
+	g.cores = make([]*Core, cfg.NumCores)
+	for i := range g.cores {
+		g.cores[i] = newCore(i, g)
+		if shared != nil {
+			g.cores[i].mmu.AttachSharedTLB(shared)
+		}
+	}
+	return g, nil
+}
+
+// Stats returns the statistics sink.
+func (g *GPU) Stats() *stats.Sim { return g.st }
+
+// Translator returns the functional translator (tests and tools).
+func (g *GPU) Translator() *vm.Translator { return g.tr }
+
+// Run executes one kernel launch to completion and returns the total cycle
+// count. It errs on invalid launches and on deadlock (which indicates a
+// malformed kernel, e.g. a barrier inside divergent control flow).
+func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
+	if err := l.Validate(); err != nil {
+		return 0, err
+	}
+	g.launch = l
+	g.nextBlock = 0
+	g.liveBlocks = 0
+	for _, c := range g.cores {
+		c.reset()
+	}
+	// Initial block dispatch.
+	for _, c := range g.cores {
+		c.fillBlocks()
+	}
+
+	now := engine.Cycle(0)
+	for g.liveBlocks > 0 || g.nextBlock < l.Grid {
+		if g.MaxCycles != 0 && uint64(now) > g.MaxCycles {
+			return uint64(now), fmt.Errorf("gpu: exceeded MaxCycles=%d\n%s", g.MaxCycles, g.dumpState())
+		}
+		next := noEvent
+		anyLive := false
+		for _, c := range g.cores {
+			issued, ev := c.tick(now)
+			if len(c.blocks) > 0 {
+				anyLive = true
+				c.pendingIdle = !issued
+			} else {
+				c.pendingIdle = false
+			}
+			if ev < next {
+				next = ev
+			}
+		}
+		if !anyLive && g.nextBlock >= l.Grid && g.liveBlocks == 0 {
+			break
+		}
+		if next == noEvent {
+			return uint64(now), fmt.Errorf("gpu: deadlock at cycle %d (%d live blocks)", now, g.liveBlocks)
+		}
+		if next <= now {
+			next = now + 1
+		}
+		delta := uint64(next - now)
+		for _, c := range g.cores {
+			if len(c.blocks) > 0 {
+				g.st.CoreCycles += delta
+				if c.pendingIdle {
+					g.st.IdleCycles.Add(delta)
+				}
+			}
+		}
+		if next>>14 != now>>14 {
+			// Every ~16k cycles, drop contention bookkeeping for the past.
+			g.sys.Prune(next)
+			for _, c := range g.cores {
+				c.l1Port.PruneBefore(next)
+			}
+		}
+		now = next
+	}
+	g.st.Cycles = uint64(now)
+	return uint64(now), nil
+}

@@ -1,0 +1,199 @@
+package gpu
+
+import (
+	"gpummu/internal/core"
+	"gpummu/internal/engine"
+	"gpummu/internal/kernels"
+	"gpummu/internal/mem"
+)
+
+// lineReq is one coalesced cache-line access of a warp memory instruction.
+type lineReq struct {
+	lineVA uint64 // virtual address >> lineShift
+	vpn    uint64
+}
+
+// execMem executes one warp-level memory instruction: coalescing, parallel
+// TLB + L1 access, miss handling, and functional data movement. This is
+// where the paper's design space plays out:
+//
+//   - intra-warp requests to the same PTE coalesce into one TLB lookup;
+//   - the TLB is accessed in parallel with the virtually indexed L1, so TLB
+//     size only costs through the AccessPenalty;
+//   - without CacheOverlap every line access waits for the warp's slowest
+//     walk; with it, lanes that hit the TLB access the L1 immediately and
+//     lanes that missed start as soon as their own walk completes.
+func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
+	b := w.block
+	st := c.g.st
+	lineShift := c.g.sys.LineShift()
+	pageShift := c.g.cfg.PageShift
+	isStore := in.Kind == kernels.KindStore
+
+	// Coalesce active lanes into unique lines and unique pages, and
+	// perform the functional access.
+	var lines []lineReq
+	seenLine := map[uint64]bool{}
+	pageWarps := map[uint64][]int{}
+	var pageOrder []uint64
+	for _, tid := range w.curLanes() {
+		if tid == noLane {
+			continue
+		}
+		t := &b.threads[tid]
+		va := t.regs[in.A] + uint64(in.Imm)
+		c.funcAccess(t, va, in, isStore)
+
+		lv := va >> lineShift
+		if !seenLine[lv] {
+			seenLine[lv] = true
+			lines = append(lines, lineReq{lineVA: lv, vpn: va >> pageShift})
+		}
+		vpn := va >> pageShift
+		ws, seen := pageWarps[vpn]
+		if !seen {
+			pageOrder = append(pageOrder, vpn)
+		}
+		if !containsInt(ws, t.origWarp) {
+			pageWarps[vpn] = append(ws, t.origWarp)
+		}
+	}
+	st.MemInstrs.Inc()
+	st.PageDivergence.Observe(len(pageOrder))
+	st.LineDivergence.Observe(len(lines))
+	if len(lines) == 0 {
+		// All lanes were inactive (can happen transiently around exits).
+		w.readyAt = now + 1
+		c.advance(now, w, w.curPC()+1)
+		return
+	}
+
+	// Address translation for each distinct page.
+	reqs := make([]core.PageReq, 0, len(pageOrder))
+	for _, vpn := range pageOrder {
+		reqs = append(reqs, core.PageReq{VPN: vpn, Warps: pageWarps[vpn]})
+	}
+	results := c.mmu.Lookup(now, reqs)
+	byVPN := make(map[uint64]*core.PageResult, len(results))
+	maxReady := engine.Cycle(0)
+	for i := range results {
+		r := &results[i]
+		byVPN[r.VPN] = r
+		if r.ReadyAt > maxReady {
+			maxReady = r.ReadyAt
+		}
+		if c.mmu.Config().Enabled {
+			if r.Hit {
+				c.sched.onTLBHit(w.slot, r.LRUDepth)
+			} else {
+				c.sched.onTLBMiss(w.slot, r.VPN)
+				if c.g.tracer != nil {
+					c.g.emit(Event{Cycle: now, Kind: EvTLBMiss, Core: int16(c.id),
+						Block: int32(b.id), Warp: int16(w.slot), A: r.VPN, B: uint64(r.ReadyAt)})
+					c.g.emit(Event{Cycle: r.ReadyAt, Kind: EvWalkDone, Core: int16(c.id),
+						Block: int32(b.id), Warp: int16(w.slot), A: r.VPN, B: uint64(r.ReadyAt - now)})
+				}
+			}
+		}
+	}
+
+	overlap := c.mmu.Config().CacheOverlap || !c.mmu.Config().Enabled
+	penalty := c.mmu.AccessPenalty()
+	pageMask := (uint64(1) << pageShift) - 1
+
+	// L1 (and beyond) for each distinct line.
+	done := maxReady
+	for _, lr := range lines {
+		r := byVPN[lr.vpn]
+		start := maxReady
+		if overlap {
+			start = r.ReadyAt
+		}
+		start += penalty
+		// An oversized TLB also gates the L1 access pipeline: every
+		// access occupies it for the extra translation cycles, costing
+		// bandwidth as well as latency (the paper's figure 6 effect).
+		s := c.l1Port.Acquire(start, 1+int(penalty))
+		pa := r.PBase | ((lr.lineVA << lineShift) & pageMask)
+
+		st.L1Accesses.Inc()
+		hit, ev, evicted := c.l1.Access(pa, w.slot)
+		if evicted {
+			c.sched.onL1Evict(ev)
+		}
+		var fin engine.Cycle
+		if hit {
+			st.L1Hits.Inc()
+			fin = s + engine.Cycle(c.g.cfg.L1Latency)
+		} else {
+			st.L1Misses.Inc()
+			// A free miss-status register gates entry into the memory
+			// system; this is the flow control that keeps one core from
+			// flooding the interconnect (GPGPU-Sim models the same limit).
+			mi := 0
+			for i := 1; i < len(c.l1MSHRs); i++ {
+				if c.l1MSHRs[i] < c.l1MSHRs[mi] {
+					mi = i
+				}
+			}
+			start := s + engine.Cycle(c.g.cfg.L1Latency)
+			if c.l1MSHRs[mi] > start {
+				start = c.l1MSHRs[mi]
+			}
+			fin, _ = c.g.sys.Access(start, pa, mem.ClassData)
+			c.l1MSHRs[mi] = fin
+			st.L1MissLat.Observe(uint64(fin - start))
+			c.sched.onL1Miss(w.slot, pa>>lineShift, !r.Hit)
+		}
+		if fin > done {
+			done = fin
+		}
+	}
+
+	w.readyAt = done
+	c.advance(now, w, w.curPC()+1)
+}
+
+// funcAccess performs the functional load/store for one lane.
+func (c *Core) funcAccess(t *Thread, va uint64, in *kernels.Instr, isStore bool) {
+	pa := c.g.tr.Translate(va)
+	m := c.g.as.Mem
+	if isStore {
+		v := t.regs[in.B]
+		switch in.Size {
+		case 1:
+			m.WriteU8(pa, byte(v))
+		case 4:
+			m.Write32(pa, uint32(v))
+		default:
+			m.Write64(pa, v)
+		}
+		return
+	}
+	var v uint64
+	switch in.Size {
+	case 1:
+		v = uint64(m.ReadU8(pa))
+	case 4:
+		v = uint64(m.Read32(pa))
+	default:
+		v = m.Read64(pa)
+	}
+	t.regs[in.Dst] = v
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

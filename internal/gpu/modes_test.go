@@ -1,0 +1,136 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpummu/internal/config"
+	"gpummu/internal/stats"
+	"gpummu/internal/workloads"
+)
+
+// runWith builds the workload fresh and runs it under cfg, failing the test
+// on any error. It returns the statistics.
+func runWith(t *testing.T, name string, cfg config.Hardware) *stats.Sim {
+	t.Helper()
+	w, err := workloads.Build(name, workloads.SizeTiny, cfg.PageShift, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &stats.Sim{}
+	g, err := New(cfg, w.AS, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.MaxCycles = 50_000_000
+	if _, err := g.Run(w.Launch); err != nil {
+		t.Fatalf("%s under %v/%v/%v: %v", name, cfg.Sched.Policy, cfg.TBC.Mode, cfg.MMU.Enabled, err)
+	}
+	if w.Check != nil {
+		if err := w.Check(); err != nil {
+			t.Fatalf("%s functional check: %v", name, err)
+		}
+	}
+	return st
+}
+
+// TestSchedulerPolicyMatrix runs a divergent and a regular workload under
+// every scheduler policy with the augmented MMU, verifying functional
+// correctness is independent of scheduling.
+func TestSchedulerPolicyMatrix(t *testing.T) {
+	policies := []config.SchedulerPolicy{
+		config.SchedLRR, config.SchedGTO, config.SchedCCWS, config.SchedTACCWS, config.SchedTCWS,
+	}
+	for _, name := range []string{"bfs", "kmeans"} {
+		for _, p := range policies {
+			cfg := config.SmallTest()
+			cfg.MMU = config.AugmentedMMU()
+			cfg.Sched.Policy = p
+			if p == config.SchedTACCWS {
+				cfg.Sched.TLBMissWeight = 4
+			}
+			if p == config.SchedTCWS {
+				cfg.Sched.TLBMissWeight = 4
+				cfg.Sched.LRUDepthWeights = []int{1, 2, 4, 8}
+			}
+			st := runWith(t, name, cfg)
+			if st.Cycles == 0 {
+				t.Fatalf("%s/%v: zero cycles", name, p)
+			}
+		}
+	}
+}
+
+// TestTBCModes runs divergent workloads under classic stacks, TBC, and
+// TLB-aware TBC; results must stay functionally correct and TBC must
+// actually compact warps.
+func TestTBCModes(t *testing.T) {
+	for _, name := range []string{"bfs", "mummergpu", "pathfinder", "memcached"} {
+		for _, mode := range []config.DivergenceMode{config.DivStack, config.DivTBC, config.DivTLBTBC} {
+			cfg := config.SmallTest()
+			cfg.MMU = config.AugmentedMMU()
+			cfg.TBC.Mode = mode
+			st := runWith(t, name, cfg)
+			if mode != config.DivStack && st.CompactedWarps == 0 {
+				t.Errorf("%s/%v: no dynamic warps formed", name, mode)
+			}
+		}
+	}
+}
+
+// TestNoTLBvsTLBOrdering: for a TLB-hostile workload, the naive blocking
+// TLB must cost cycles relative to the no-TLB baseline, and the augmented
+// MMU must recover some of that loss (the paper's core claim, figure 10).
+func TestNoTLBvsTLBOrdering(t *testing.T) {
+	base := config.SmallTest()
+	baseSt := runWith(t, "pointerchase", base)
+
+	naive := config.SmallTest()
+	naive.MMU = config.NaiveMMU(4)
+	naiveSt := runWith(t, "pointerchase", naive)
+
+	aug := config.SmallTest()
+	aug.MMU = config.AugmentedMMU()
+	augSt := runWith(t, "pointerchase", aug)
+
+	if naiveSt.Cycles <= baseSt.Cycles {
+		t.Errorf("naive TLB (%d) not slower than no TLB (%d)", naiveSt.Cycles, baseSt.Cycles)
+	}
+	if augSt.Cycles > naiveSt.Cycles {
+		t.Errorf("augmented MMU (%d) slower than naive (%d)", augSt.Cycles, naiveSt.Cycles)
+	}
+}
+
+// TestLargePages: 2 MB pages must reduce TLB misses and page divergence on
+// a scattered workload (paper section 9).
+func TestLargePages(t *testing.T) {
+	small := config.SmallTest()
+	small.MMU = config.AugmentedMMU()
+	st4k := runWith(t, "pointerchase", small)
+
+	big := config.SmallTest()
+	big.MMU = config.AugmentedMMU()
+	big.PageShift = 21
+	st2m := runWith(t, "pointerchase", big)
+
+	if st2m.PageDivergence.Mean() >= st4k.PageDivergence.Mean() {
+		t.Errorf("2M page divergence %.2f not below 4K %.2f",
+			st2m.PageDivergence.Mean(), st4k.PageDivergence.Mean())
+	}
+	// Fewer distinct pages mean fewer page table walks (merged misses can
+	// inflate the miss *rate* at tiny scale, so compare walk counts).
+	if st2m.Walks >= st4k.Walks {
+		t.Errorf("2M walks %d not below 4K walks %d", st2m.Walks, st4k.Walks)
+	}
+}
+
+// TestIdleAccountingBounded sanity-checks idle-fraction accounting.
+func TestIdleAccountingBounded(t *testing.T) {
+	cfg := config.SmallTest()
+	st := runWith(t, "kmeans", cfg)
+	if f := st.IdleFraction(); f < 0 || f > 1 {
+		t.Fatalf("idle fraction %f out of range", f)
+	}
+	if st.CoreCycles == 0 {
+		t.Fatal("no core cycles accounted")
+	}
+}

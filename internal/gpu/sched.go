@@ -1,0 +1,252 @@
+package gpu
+
+import (
+	"sort"
+
+	"gpummu/internal/config"
+	"gpummu/internal/core"
+	"gpummu/internal/engine"
+	"gpummu/internal/mem"
+)
+
+// sched holds per-core warp scheduling state for every policy. The CCWS
+// family (paper section 7) keeps per-warp-slot victim tag arrays and
+// lost-locality scores; the scheduler restricts the issue pool to the
+// top-scoring warps whenever the score sum exceeds the cutoff.
+type sched struct {
+	c   *Core
+	cfg config.Scheduler
+
+	scores []int
+	vtas   []*core.VTA
+	sum    int
+
+	lastDecay  engine.Cycle
+	orderBuf   []*Warp
+	rankBuf    []int
+	restricted bool
+	allowed    []bool
+	dirty      bool
+}
+
+func newSched(c *Core) *sched {
+	s := &sched{c: c, cfg: c.g.cfg.Sched}
+	n := c.g.cfg.WarpsPerCore
+	s.scores = make([]int, n)
+	s.allowed = make([]bool, n)
+	if s.ccwsFamily() {
+		s.vtas = make([]*core.VTA, n)
+		for i := range s.vtas {
+			s.vtas[i] = core.NewVTA(s.cfg.VTAEntriesPerWarp, s.cfg.VTAAssoc)
+		}
+	}
+	if s.cfg.Policy == config.SchedTCWS && c.mmu.TLB() != nil {
+		// TCWS replaces cache-line VTAs with page-granular ones filled
+		// from TLB evictions (paper figure 15).
+		c.mmu.TLB().SetOnEvict(func(vpn uint64, allocWarp int) {
+			if allocWarp >= 0 && allocWarp < len(s.vtas) {
+				s.vtas[allocWarp].Insert(vpn)
+			}
+		})
+	}
+	return s
+}
+
+func (s *sched) ccwsFamily() bool {
+	switch s.cfg.Policy {
+	case config.SchedCCWS, config.SchedTACCWS, config.SchedTCWS:
+		return true
+	}
+	return false
+}
+
+func (s *sched) reset() {
+	for i := range s.scores {
+		s.scores[i] = 0
+	}
+	s.sum = 0
+	s.restricted = false
+	s.dirty = true
+	for _, v := range s.vtas {
+		v.Clear()
+	}
+}
+
+func (s *sched) bump(slot, w int) {
+	if slot < 0 || slot >= len(s.scores) || w == 0 {
+		return
+	}
+	s.scores[slot] += w
+	s.sum += w
+	s.dirty = true
+}
+
+// onL1Miss is called for every L1 data miss; under CCWS and TA-CCWS it
+// probes the warp's victim tag array and scores lost locality, weighting
+// misses accompanied by TLB misses by TLBMissWeight under TA-CCWS.
+func (s *sched) onL1Miss(slot int, lineTag uint64, withTLBMiss bool) {
+	switch s.cfg.Policy {
+	case config.SchedCCWS, config.SchedTACCWS:
+	default:
+		return
+	}
+	if slot < 0 || slot >= len(s.vtas) {
+		return
+	}
+	if !s.vtas[slot].Probe(lineTag) {
+		return
+	}
+	s.c.g.st.VTAHits.Inc()
+	w := 1
+	if s.cfg.Policy == config.SchedTACCWS && withTLBMiss && s.cfg.TLBMissWeight > 1 {
+		w = s.cfg.TLBMissWeight
+	}
+	s.bump(slot, w)
+}
+
+// onL1Evict records a displaced line into the allocating warp's VTA.
+func (s *sched) onL1Evict(ev mem.Eviction) {
+	switch s.cfg.Policy {
+	case config.SchedCCWS, config.SchedTACCWS:
+	default:
+		return
+	}
+	if ev.AllocWarp >= 0 && ev.AllocWarp < len(s.vtas) {
+		s.vtas[ev.AllocWarp].Insert(ev.Tag)
+	}
+}
+
+// onTLBMiss probes the page-granular VTA under TCWS.
+func (s *sched) onTLBMiss(slot int, vpn uint64) {
+	if s.cfg.Policy != config.SchedTCWS {
+		return
+	}
+	if slot < 0 || slot >= len(s.vtas) {
+		return
+	}
+	if !s.vtas[slot].Probe(vpn) {
+		return
+	}
+	s.c.g.st.VTAHits.Inc()
+	w := s.cfg.TLBMissWeight
+	if w < 1 {
+		w = 1
+	}
+	s.bump(slot, w)
+}
+
+// onTLBHit updates TCWS scores by the LRU depth of the hit: deeper hits
+// mean the PTE was close to eviction, so the warp's locality is at risk
+// (paper section 7.2).
+func (s *sched) onTLBHit(slot, lruDepth int) {
+	if s.cfg.Policy != config.SchedTCWS || len(s.cfg.LRUDepthWeights) == 0 {
+		return
+	}
+	if lruDepth >= len(s.cfg.LRUDepthWeights) {
+		lruDepth = len(s.cfg.LRUDepthWeights) - 1
+	}
+	if lruDepth < 0 {
+		return
+	}
+	s.bump(slot, s.cfg.LRUDepthWeights[lruDepth])
+}
+
+// decay halves all scores periodically so throttling releases when
+// locality recovers.
+func (s *sched) decay(now engine.Cycle) {
+	if s.cfg.DecayPeriod <= 0 || now-s.lastDecay < engine.Cycle(s.cfg.DecayPeriod) {
+		return
+	}
+	s.lastDecay = now
+	s.sum = 0
+	for i := range s.scores {
+		s.scores[i] /= 2
+		s.sum += s.scores[i]
+	}
+	s.dirty = true
+}
+
+// recompute refreshes the restricted issue pool.
+func (s *sched) recompute() {
+	if !s.dirty {
+		return
+	}
+	s.dirty = false
+	s.restricted = s.sum > s.cfg.LLSCutoff
+	if !s.restricted {
+		return
+	}
+	// Allow only the ActivePool highest-scoring warps.
+	if cap(s.rankBuf) < len(s.scores) {
+		s.rankBuf = make([]int, len(s.scores))
+	}
+	rank := s.rankBuf[:len(s.scores)]
+	for i := range rank {
+		rank[i] = i
+	}
+	sort.SliceStable(rank, func(a, b int) bool { return s.scores[rank[a]] > s.scores[rank[b]] })
+	for i := range s.allowed {
+		s.allowed[i] = false
+	}
+	pool := s.cfg.ActivePool
+	if pool < 1 {
+		pool = 1
+	}
+	for i := 0; i < pool && i < len(rank); i++ {
+		s.allowed[rank[i]] = true
+	}
+	s.c.g.st.SchedThrottles.Inc()
+}
+
+// order returns the candidate warps in issue order for this cycle.
+func (s *sched) order(now engine.Cycle, warps []*Warp) []*Warp {
+	if s.ccwsFamily() {
+		s.decay(now)
+		s.recompute()
+	}
+	out := s.orderBuf[:0]
+
+	if s.ccwsFamily() && s.restricted {
+		any := false
+		for _, w := range warps {
+			if w.slot < len(s.allowed) && s.allowed[w.slot] && w.state == WReady && w.readyAt <= now {
+				any = true
+				break
+			}
+		}
+		if any {
+			for _, w := range warps {
+				if w.slot < len(s.allowed) && s.allowed[w.slot] {
+					out = append(out, w)
+				}
+			}
+			s.orderBuf = out
+			return out
+		}
+		// No allowed warp can issue: fall through to the full pool so the
+		// core is never idled by stale scores.
+	}
+
+	switch s.cfg.Policy {
+	case config.SchedGTO:
+		if li := s.c.lastIssued; li != nil && li.state == WReady {
+			out = append(out, li)
+		}
+		for _, w := range warps {
+			if w != s.c.lastIssued {
+				out = append(out, w)
+			}
+		}
+	default: // LRR and the CCWS family's underlying rotation
+		n := len(warps)
+		start := s.c.rrPtr % max(n, 1)
+		for i := 0; i < n; i++ {
+			out = append(out, warps[(start+i)%n])
+		}
+	}
+	s.orderBuf = out
+	return out
+}
+
+// afterIssue advances the round-robin pointer.
+func (s *sched) afterIssue() { s.c.rrPtr++ }

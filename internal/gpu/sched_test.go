@@ -1,0 +1,168 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpummu/internal/config"
+	"gpummu/internal/engine"
+	"gpummu/internal/kernels"
+	"gpummu/internal/mem"
+	"gpummu/internal/stats"
+	"gpummu/internal/vm"
+)
+
+// newSchedCore builds a core with the given scheduler policy for direct
+// scheduler-state testing.
+func newSchedCore(t *testing.T, pol config.SchedulerPolicy) *Core {
+	t.Helper()
+	cfg := config.SmallTest()
+	cfg.MMU = config.AugmentedMMU()
+	cfg.Sched.Policy = pol
+	cfg.Sched.LLSCutoff = 8
+	cfg.Sched.ActivePool = 2
+	cfg.Sched.TLBMissWeight = 4
+	cfg.Sched.LRUDepthWeights = []int{1, 2, 4, 8}
+	as := vm.NewAddressSpace(vm.NewPhysMem(), vm.NewFrameAllocator(1<<20), vm.PageShift4K)
+	st := &stats.Sim{}
+	g, err := New(cfg, as, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dummy launch so cores have context; not executed.
+	b := kernels.NewBuilder("noop")
+	b.Exit()
+	g.launch = &kernels.Launch{Program: b.MustBuild(), Grid: 1, BlockDim: 32}
+	return g.cores[0]
+}
+
+func TestCCWSThrottleActivates(t *testing.T) {
+	c := newSchedCore(t, config.SchedCCWS)
+	s := c.sched
+	// Feed VTA hits for warp 3 until the cutoff trips.
+	for i := 0; i < 12; i++ {
+		s.onL1Evict(mem.Eviction{Tag: uint64(i), AllocWarp: 3})
+		s.onL1Miss(3, uint64(i), false)
+	}
+	s.recompute()
+	if !s.restricted {
+		t.Fatalf("cutoff did not trip (sum=%d)", s.sum)
+	}
+	if !s.allowed[3] {
+		t.Fatal("top-scoring warp excluded from pool")
+	}
+	allowedCount := 0
+	for _, a := range s.allowed {
+		if a {
+			allowedCount++
+		}
+	}
+	if allowedCount != 2 {
+		t.Fatalf("pool size %d, want ActivePool=2", allowedCount)
+	}
+}
+
+func TestCCWSIgnoresMissWithoutVTAHit(t *testing.T) {
+	c := newSchedCore(t, config.SchedCCWS)
+	s := c.sched
+	// Misses with no prior eviction into the VTA score nothing.
+	for i := 0; i < 20; i++ {
+		s.onL1Miss(1, uint64(1000+i), false)
+	}
+	if s.sum != 0 {
+		t.Fatalf("scored %d without lost locality", s.sum)
+	}
+}
+
+func TestTACCWSWeightsTLBMisses(t *testing.T) {
+	c := newSchedCore(t, config.SchedTACCWS)
+	s := c.sched
+	s.onL1Evict(mem.Eviction{Tag: 7, AllocWarp: 1})
+	s.onL1Miss(1, 7, false) // weight 1
+	plain := s.scores[1]
+	s.onL1Evict(mem.Eviction{Tag: 8, AllocWarp: 1})
+	s.onL1Miss(1, 8, true) // weight 4
+	if s.scores[1]-plain != 4*plain {
+		t.Fatalf("TLB-miss weighting: %d then %d", plain, s.scores[1])
+	}
+}
+
+func TestTCWSUsesPageVTAsAndLRUDepth(t *testing.T) {
+	c := newSchedCore(t, config.SchedTCWS)
+	s := c.sched
+	// TLB miss against an empty VTA: nothing.
+	s.onTLBMiss(2, 0x100)
+	if s.sum != 0 {
+		t.Fatal("scored a cold TLB miss")
+	}
+	// Simulate a TLB eviction of warp 2's page, then a miss on it.
+	c.mmu.TLB().Fill(0, 0x100, 0x1000, 2)
+	// Force eviction by filling the set (4-way; same set = same low bits).
+	setStride := uint64(128 / 4) // entries/assoc sets
+	for i := uint64(1); i <= 4; i++ {
+		c.mmu.TLB().Fill(0, 0x100+i*setStride, 0x2000, 5)
+	}
+	s.onTLBMiss(2, 0x100)
+	if s.scores[2] == 0 {
+		t.Fatal("VTA-backed TLB miss scored nothing")
+	}
+	// LRU-depth-weighted hits.
+	base := s.scores[4]
+	s.onTLBHit(4, 0)
+	if s.scores[4]-base != 1 {
+		t.Fatalf("MRU hit weight = %d", s.scores[4]-base)
+	}
+	s.onTLBHit(4, 3)
+	if s.scores[4]-base != 1+8 {
+		t.Fatalf("LRU-depth-3 weight = %d", s.scores[4]-base-1)
+	}
+}
+
+func TestSchedDecayReleasesThrottle(t *testing.T) {
+	c := newSchedCore(t, config.SchedCCWS)
+	s := c.sched
+	for i := 0; i < 12; i++ {
+		s.onL1Evict(mem.Eviction{Tag: uint64(i), AllocWarp: 0})
+		s.onL1Miss(0, uint64(i), false)
+	}
+	s.recompute()
+	if !s.restricted {
+		t.Fatal("setup: not restricted")
+	}
+	// Several decay periods halve scores to zero.
+	period := engine.Cycle(c.g.cfg.Sched.DecayPeriod)
+	for i := 1; i <= 8; i++ {
+		s.decay(period * engine.Cycle(i))
+	}
+	s.recompute()
+	if s.restricted {
+		t.Fatalf("throttle not released after decay (sum=%d)", s.sum)
+	}
+}
+
+func TestLRROrderRotates(t *testing.T) {
+	c := newSchedCore(t, config.SchedLRR)
+	b := &Block{core: c}
+	w1 := &Warp{block: b, slot: 0, state: WReady}
+	w2 := &Warp{block: b, slot: 1, state: WReady}
+	w3 := &Warp{block: b, slot: 2, state: WReady}
+	warps := []*Warp{w1, w2, w3}
+
+	first := c.sched.order(0, warps)[0]
+	c.sched.afterIssue()
+	second := c.sched.order(0, warps)[0]
+	if first == second {
+		t.Fatal("round-robin did not rotate")
+	}
+}
+
+func TestGTOPrefersLastIssued(t *testing.T) {
+	c := newSchedCore(t, config.SchedGTO)
+	b := &Block{core: c}
+	w1 := &Warp{block: b, slot: 0, state: WReady}
+	w2 := &Warp{block: b, slot: 1, state: WReady}
+	warps := []*Warp{w1, w2}
+	c.lastIssued = w2
+	if got := c.sched.order(0, warps)[0]; got != w2 {
+		t.Fatal("GTO did not stick with the running warp")
+	}
+}

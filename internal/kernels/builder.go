@@ -1,0 +1,191 @@
+package kernels
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels. Methods append
+// instructions; Build resolves labels and validates. Branch instructions
+// name both their target and their reconvergence label, making the
+// structured control flow explicit for the divergence hardware.
+type Builder struct {
+	name   string
+	code   []Instr
+	labels map[string]int32
+	fixups []fixup
+	errs   []error
+}
+
+type fixup struct {
+	instr  int
+	label  string
+	reconv bool // patch Reconv instead of Target
+}
+
+// NewBuilder starts a program called name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, labels: make(map[string]int32)}
+}
+
+// Label defines label name at the current position.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("kernels: %s: duplicate label %q", b.name, name))
+		return
+	}
+	b.labels[name] = int32(len(b.code))
+}
+
+func (b *Builder) emit(in Instr) { b.code = append(b.code, in) }
+
+func (b *Builder) ref(label string, reconv bool) {
+	b.fixups = append(b.fixups, fixup{instr: len(b.code) - 1, label: label, reconv: reconv})
+}
+
+// Mov emits Dst = A.
+func (b *Builder) Mov(d, a Reg) { b.emit(Instr{Kind: KindALU, Op: OpMov, Dst: d, A: a}) }
+
+// MovImm emits Dst = imm.
+func (b *Builder) MovImm(d Reg, imm int64) {
+	b.emit(Instr{Kind: KindALU, Op: OpMovImm, Dst: d, Imm: imm})
+}
+
+// Add emits Dst = A + B.
+func (b *Builder) Add(d, a, r Reg) { b.emit(Instr{Kind: KindALU, Op: OpAdd, Dst: d, A: a, B: r}) }
+
+// AddImm emits Dst = A + imm.
+func (b *Builder) AddImm(d, a Reg, imm int64) {
+	b.emit(Instr{Kind: KindALU, Op: OpAddImm, Dst: d, A: a, Imm: imm})
+}
+
+// Sub emits Dst = A - B.
+func (b *Builder) Sub(d, a, r Reg) { b.emit(Instr{Kind: KindALU, Op: OpSub, Dst: d, A: a, B: r}) }
+
+// Mul emits Dst = A * B.
+func (b *Builder) Mul(d, a, r Reg) { b.emit(Instr{Kind: KindALU, Op: OpMul, Dst: d, A: a, B: r}) }
+
+// MulImm emits Dst = A * imm.
+func (b *Builder) MulImm(d, a Reg, imm int64) {
+	b.emit(Instr{Kind: KindALU, Op: OpMulImm, Dst: d, A: a, Imm: imm})
+}
+
+// Div emits Dst = A / B (unsigned; 0 when B is 0).
+func (b *Builder) Div(d, a, r Reg) { b.emit(Instr{Kind: KindALU, Op: OpDiv, Dst: d, A: a, B: r}) }
+
+// Rem emits Dst = A % B (unsigned; 0 when B is 0).
+func (b *Builder) Rem(d, a, r Reg) { b.emit(Instr{Kind: KindALU, Op: OpRem, Dst: d, A: a, B: r}) }
+
+// And emits Dst = A & B.
+func (b *Builder) And(d, a, r Reg) { b.emit(Instr{Kind: KindALU, Op: OpAnd, Dst: d, A: a, B: r}) }
+
+// AndImm emits Dst = A & imm.
+func (b *Builder) AndImm(d, a Reg, imm int64) {
+	b.emit(Instr{Kind: KindALU, Op: OpAndImm, Dst: d, A: a, Imm: imm})
+}
+
+// Or emits Dst = A | B.
+func (b *Builder) Or(d, a, r Reg) { b.emit(Instr{Kind: KindALU, Op: OpOr, Dst: d, A: a, B: r}) }
+
+// Xor emits Dst = A ^ B.
+func (b *Builder) Xor(d, a, r Reg) { b.emit(Instr{Kind: KindALU, Op: OpXor, Dst: d, A: a, B: r}) }
+
+// ShlImm emits Dst = A << imm.
+func (b *Builder) ShlImm(d, a Reg, imm int64) {
+	b.emit(Instr{Kind: KindALU, Op: OpShlImm, Dst: d, A: a, Imm: imm})
+}
+
+// ShrImm emits Dst = A >> imm.
+func (b *Builder) ShrImm(d, a Reg, imm int64) {
+	b.emit(Instr{Kind: KindALU, Op: OpShrImm, Dst: d, A: a, Imm: imm})
+}
+
+// Min emits Dst = min(A, B).
+func (b *Builder) Min(d, a, r Reg) { b.emit(Instr{Kind: KindALU, Op: OpMin, Dst: d, A: a, B: r}) }
+
+// Sltu emits Dst = (A < B) unsigned.
+func (b *Builder) Sltu(d, a, r Reg) { b.emit(Instr{Kind: KindALU, Op: OpSltu, Dst: d, A: a, B: r}) }
+
+// SltuImm emits Dst = (A < imm) unsigned.
+func (b *Builder) SltuImm(d, a Reg, imm int64) {
+	b.emit(Instr{Kind: KindALU, Op: OpSltuImm, Dst: d, A: a, Imm: imm})
+}
+
+// Seq emits Dst = (A == B).
+func (b *Builder) Seq(d, a, r Reg) { b.emit(Instr{Kind: KindALU, Op: OpSeq, Dst: d, A: a, B: r}) }
+
+// SeqImm emits Dst = (A == imm).
+func (b *Builder) SeqImm(d, a Reg, imm int64) {
+	b.emit(Instr{Kind: KindALU, Op: OpSeqImm, Dst: d, A: a, Imm: imm})
+}
+
+// Special emits Dst = special register s.
+func (b *Builder) Special(d Reg, s Special) {
+	b.emit(Instr{Kind: KindALU, Op: OpSpecial, Dst: d, Imm: int64(s)})
+}
+
+// Ld emits Dst = mem[A + off] with the given access size (1, 4, or 8).
+func (b *Builder) Ld(d, addr Reg, off int64, size uint8) {
+	b.emit(Instr{Kind: KindLoad, Dst: d, A: addr, Imm: off, Size: size})
+}
+
+// St emits mem[A + off] = B with the given access size.
+func (b *Builder) St(addr Reg, off int64, val Reg, size uint8) {
+	b.emit(Instr{Kind: KindStore, A: addr, B: val, Imm: off, Size: size})
+}
+
+// Bz emits a branch to target when A == 0, reconverging at reconv.
+func (b *Builder) Bz(a Reg, target, reconv string) {
+	b.emit(Instr{Kind: KindBranch, Cond: CondZ, A: a})
+	b.ref(target, false)
+	b.ref(reconv, true)
+}
+
+// Bnz emits a branch to target when A != 0, reconverging at reconv.
+func (b *Builder) Bnz(a Reg, target, reconv string) {
+	b.emit(Instr{Kind: KindBranch, Cond: CondNZ, A: a})
+	b.ref(target, false)
+	b.ref(reconv, true)
+}
+
+// Jmp emits an unconditional jump (never divergent).
+func (b *Builder) Jmp(target string) {
+	b.emit(Instr{Kind: KindJump})
+	b.ref(target, false)
+}
+
+// Bar emits a block-wide barrier.
+func (b *Builder) Bar() { b.emit(Instr{Kind: KindBarrier}) }
+
+// Exit emits thread termination.
+func (b *Builder) Exit() { b.emit(Instr{Kind: KindExit}) }
+
+// Build resolves labels and validates the program.
+func (b *Builder) Build() (*Program, error) {
+	if len(b.errs) > 0 {
+		return nil, b.errs[0]
+	}
+	for _, f := range b.fixups {
+		pos, ok := b.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("kernels: %s: undefined label %q", b.name, f.label)
+		}
+		if f.reconv {
+			b.code[f.instr].Reconv = pos
+		} else {
+			b.code[f.instr].Target = pos
+		}
+	}
+	p := &Program{Name: b.name, Code: b.code}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error; workload constructors use it
+// because their programs are compiled in.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

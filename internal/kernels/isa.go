@@ -1,0 +1,184 @@
+// Package kernels defines the small SIMT instruction set the simulated GPU
+// executes, plus a builder (assembler) for writing kernels in Go. The ISA
+// is deliberately minimal — registers, ALU ops, loads/stores, structured
+// branches with explicit reconvergence points, barriers — but expressive
+// enough to implement the paper's six workloads with realistic
+// data-dependent address streams.
+package kernels
+
+import "fmt"
+
+// Reg names one of a thread's general-purpose 64-bit registers.
+type Reg uint8
+
+// NumRegs is the per-thread register file size.
+const NumRegs = 32
+
+// Kind classifies an instruction.
+type Kind uint8
+
+// Instruction kinds.
+const (
+	KindALU Kind = iota
+	KindLoad
+	KindStore
+	KindBranch
+	KindJump
+	KindBarrier
+	KindExit
+)
+
+// ALUOp selects the arithmetic/logic operation of a KindALU instruction.
+type ALUOp uint8
+
+// ALU operations. Imm variants use the instruction immediate as the second
+// operand. All arithmetic is unsigned 64-bit with wraparound.
+const (
+	OpMov     ALUOp = iota // Dst = A
+	OpMovImm               // Dst = Imm
+	OpAdd                  // Dst = A + B
+	OpAddImm               // Dst = A + Imm
+	OpSub                  // Dst = A - B
+	OpMul                  // Dst = A * B
+	OpMulImm               // Dst = A * Imm
+	OpDiv                  // Dst = A / B (0 when B == 0)
+	OpRem                  // Dst = A % B (0 when B == 0)
+	OpAnd                  // Dst = A & B
+	OpAndImm               // Dst = A & Imm
+	OpOr                   // Dst = A | B
+	OpXor                  // Dst = A ^ B
+	OpShlImm               // Dst = A << Imm
+	OpShrImm               // Dst = A >> Imm
+	OpMin                  // Dst = min(A, B)
+	OpSltu                 // Dst = A < B ? 1 : 0
+	OpSltuImm              // Dst = A < Imm ? 1 : 0
+	OpSeq                  // Dst = A == B ? 1 : 0
+	OpSeqImm               // Dst = A == Imm ? 1 : 0
+	OpSpecial              // Dst = special register selected by Imm
+)
+
+// Cond selects the branch condition applied to register A.
+type Cond uint8
+
+// Branch conditions.
+const (
+	CondZ  Cond = iota // branch when A == 0
+	CondNZ             // branch when A != 0
+)
+
+// Special identifies a read-only per-thread special value.
+type Special uint8
+
+// Special registers available through OpSpecial.
+const (
+	SpecGlobalTID Special = iota // global thread id across the grid
+	SpecBlockTID                 // thread id within the block
+	SpecBlockID                  // thread block id
+	SpecBlockDim                 // threads per block
+	SpecGridDim                  // blocks in the grid
+	SpecLane                     // lane within the warp
+	SpecWarp                     // warp id within the block
+	SpecParam0                   // kernel parameter 0
+	SpecParam1
+	SpecParam2
+	SpecParam3
+	SpecParam4
+	SpecParam5
+	SpecParam6
+	SpecParam7
+)
+
+// NumParams is how many kernel parameters a launch may carry.
+const NumParams = 8
+
+// Instr is one instruction. Target and Reconv are instruction indices;
+// Reconv is the branch's immediate post-dominator, which divergence
+// hardware (per-warp stacks or TBC) uses as the reconvergence point.
+type Instr struct {
+	Kind   Kind
+	Op     ALUOp
+	Cond   Cond
+	Dst    Reg
+	A      Reg
+	B      Reg
+	Imm    int64
+	Size   uint8 // load/store access size: 1, 4, or 8 bytes
+	Target int32
+	Reconv int32
+}
+
+// Program is a validated kernel.
+type Program struct {
+	Name string
+	Code []Instr
+}
+
+// Validate checks structural well-formedness: register indices in range,
+// branch targets and reconvergence points inside the program, sensible
+// access sizes, and that execution cannot run off the end (the last
+// reachable fall-through instruction must be an exit or jump).
+func (p *Program) Validate() error {
+	n := int32(len(p.Code))
+	if n == 0 {
+		return fmt.Errorf("kernels: %s: empty program", p.Name)
+	}
+	for i, in := range p.Code {
+		if in.Dst >= NumRegs || in.A >= NumRegs || in.B >= NumRegs {
+			return fmt.Errorf("kernels: %s[%d]: register out of range", p.Name, i)
+		}
+		switch in.Kind {
+		case KindLoad, KindStore:
+			if in.Size != 1 && in.Size != 4 && in.Size != 8 {
+				return fmt.Errorf("kernels: %s[%d]: bad access size %d", p.Name, i, in.Size)
+			}
+		case KindBranch:
+			if in.Target < 0 || in.Target >= n {
+				return fmt.Errorf("kernels: %s[%d]: branch target %d out of range", p.Name, i, in.Target)
+			}
+			if in.Reconv < 0 || in.Reconv > n {
+				return fmt.Errorf("kernels: %s[%d]: reconvergence %d out of range", p.Name, i, in.Reconv)
+			}
+			if int32(i+1) >= n {
+				return fmt.Errorf("kernels: %s[%d]: branch falls off program end", p.Name, i)
+			}
+		case KindJump:
+			if in.Target < 0 || in.Target >= n {
+				return fmt.Errorf("kernels: %s[%d]: jump target %d out of range", p.Name, i, in.Target)
+			}
+		case KindALU:
+			if in.Op == OpSpecial && (in.Imm < 0 || in.Imm >= int64(SpecParam0)+NumParams) {
+				return fmt.Errorf("kernels: %s[%d]: bad special %d", p.Name, i, in.Imm)
+			}
+		}
+	}
+	last := p.Code[n-1]
+	if last.Kind != KindExit && last.Kind != KindJump && last.Kind != KindBranch {
+		return fmt.Errorf("kernels: %s: program does not end in exit/jump", p.Name)
+	}
+	return nil
+}
+
+// Launch describes one kernel grid launch.
+type Launch struct {
+	Program  *Program
+	Grid     int // number of thread blocks
+	BlockDim int // threads per block
+	Params   [NumParams]uint64
+}
+
+// Validate checks launch geometry.
+func (l *Launch) Validate() error {
+	if l.Program == nil {
+		return fmt.Errorf("kernels: launch has no program")
+	}
+	if err := l.Program.Validate(); err != nil {
+		return err
+	}
+	if l.Grid < 1 {
+		return fmt.Errorf("kernels: grid size %d < 1", l.Grid)
+	}
+	if l.BlockDim < 1 {
+		return fmt.Errorf("kernels: block dim %d < 1", l.BlockDim)
+	}
+	return nil
+}

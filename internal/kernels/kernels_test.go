@@ -1,0 +1,106 @@
+package kernels
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderResolvesLabels(t *testing.T) {
+	b := NewBuilder("t")
+	b.MovImm(0, 1)
+	b.Label("loop")
+	b.AddImm(0, 0, -1)
+	b.Bnz(0, "loop", "end")
+	b.Label("end")
+	b.Exit()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := p.Code[2]
+	if br.Target != 1 || br.Reconv != 3 {
+		t.Fatalf("branch resolved to target %d reconv %d", br.Target, br.Reconv)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("t")
+	b.Label("x")
+	b.Exit()
+	b.Label("x")
+	b.Exit()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	cases := []struct {
+		name string
+		prog Program
+	}{
+		{"empty", Program{Name: "e"}},
+		{"bad-reg", Program{Name: "r", Code: []Instr{{Kind: KindALU, Dst: NumRegs}, {Kind: KindExit}}}},
+		{"bad-size", Program{Name: "s", Code: []Instr{{Kind: KindLoad, Size: 3}, {Kind: KindExit}}}},
+		{"bad-target", Program{Name: "t", Code: []Instr{{Kind: KindBranch, Target: 99}, {Kind: KindExit}}}},
+		{"falls-off", Program{Name: "f", Code: []Instr{{Kind: KindALU}}}},
+		{"branch-at-end", Program{Name: "b", Code: []Instr{{Kind: KindBranch, Target: 0}}}},
+	}
+	for _, c := range cases {
+		if err := c.prog.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+func TestValidateAcceptsGoodProgram(t *testing.T) {
+	p := Program{Name: "g", Code: []Instr{
+		{Kind: KindALU, Op: OpMovImm, Dst: 1, Imm: 5},
+		{Kind: KindLoad, Dst: 2, A: 1, Size: 8},
+		{Kind: KindBranch, A: 2, Target: 4, Reconv: 4},
+		{Kind: KindStore, A: 1, B: 2, Size: 8},
+		{Kind: KindExit},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchValidate(t *testing.T) {
+	b := NewBuilder("k")
+	b.Exit()
+	p := b.MustBuild()
+	bad := []Launch{
+		{},
+		{Program: p, Grid: 0, BlockDim: 32},
+		{Program: p, Grid: 1, BlockDim: 0},
+	}
+	for i, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+	good := Launch{Program: p, Grid: 2, BlockDim: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustBuildPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild did not panic")
+		}
+	}()
+	b := NewBuilder("bad")
+	b.Jmp("missing")
+	b.MustBuild()
+}

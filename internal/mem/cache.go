@@ -1,0 +1,136 @@
+// Package mem models the GPU's physically addressed cache hierarchy: the
+// set-associative cache structure shared by L1 and L2, the interconnect, and
+// the DRAM channels behind each memory partition. Timing uses the analytic
+// port model from internal/engine; tag state is exact (true LRU).
+package mem
+
+// Line identifies a cache line by physical line address (PA >> lineShift).
+type Line = uint64
+
+type way struct {
+	tag   Line
+	valid bool
+	// allocWarp remembers which warp allocated the line; CCWS attributes
+	// evictions to it when filling victim tag arrays (paper figure 12).
+	allocWarp int
+	lastUse   uint64
+}
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	Tag       Line
+	AllocWarp int
+}
+
+// Cache is an exact-state set-associative cache with true LRU replacement.
+// It tracks tags only (data values live in vm.PhysMem); hit/miss decisions
+// and victim attribution are exact.
+type Cache struct {
+	sets      [][]way
+	setMask   uint64
+	lineShift uint
+	tick      uint64
+}
+
+// NewCache builds a cache of totalBytes capacity with the given line size
+// and associativity. Geometry must divide evenly and the set count must be
+// a power of two.
+func NewCache(totalBytes, lineSize, assoc int) *Cache {
+	if totalBytes%(lineSize*assoc) != 0 {
+		panic("mem: cache geometry does not divide")
+	}
+	numSets := totalBytes / (lineSize * assoc)
+	if numSets&(numSets-1) != 0 {
+		panic("mem: set count must be a power of two")
+	}
+	shift := uint(0)
+	for 1<<shift < lineSize {
+		shift++
+	}
+	if 1<<shift != lineSize {
+		panic("mem: line size must be a power of two")
+	}
+	sets := make([][]way, numSets)
+	backing := make([]way, numSets*assoc)
+	for i := range sets {
+		sets[i] = backing[i*assoc : (i+1)*assoc]
+	}
+	return &Cache{sets: sets, setMask: uint64(numSets - 1), lineShift: shift}
+}
+
+// LineShift returns log2(line size).
+func (c *Cache) LineShift() uint { return c.lineShift }
+
+// LineOf maps a physical address to its line identifier.
+func (c *Cache) LineOf(pa uint64) Line { return pa >> c.lineShift }
+
+func (c *Cache) set(line Line) []way { return c.sets[line&c.setMask] }
+
+// Probe reports whether the line holding pa is present, without changing
+// replacement state.
+func (c *Cache) Probe(pa uint64) bool {
+	line := c.LineOf(pa)
+	for i := range c.set(line) {
+		if w := &c.set(line)[i]; w.valid && w.tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up pa and, on a miss, fills the line (allocate-on-miss for
+// loads and stores alike). warp attributes the fill for CCWS. It returns
+// whether the access hit and, when a valid line was displaced, the eviction.
+func (c *Cache) Access(pa uint64, warp int) (hit bool, ev Eviction, evicted bool) {
+	line := c.LineOf(pa)
+	c.tick++
+	set := c.set(line)
+	victim := 0
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == line {
+			w.lastUse = c.tick
+			return true, Eviction{}, false
+		}
+		if !set[victim].valid {
+			continue // keep first invalid way as victim
+		}
+		if !w.valid || w.lastUse < set[victim].lastUse {
+			victim = i
+		}
+	}
+	v := &set[victim]
+	if v.valid {
+		ev = Eviction{Tag: v.tag, AllocWarp: v.allocWarp}
+		evicted = true
+	}
+	*v = way{tag: line, valid: true, allocWarp: warp, lastUse: c.tick}
+	return false, ev, evicted
+}
+
+// Flush invalidates every line (used on TLB shootdowns and between kernels
+// when simulating context switches).
+func (c *Cache) Flush() {
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = way{}
+		}
+	}
+}
+
+// Occupancy returns the fraction of ways currently valid.
+func (c *Cache) Occupancy() float64 {
+	valid, total := 0, 0
+	for _, set := range c.sets {
+		for i := range set {
+			total++
+			if set[i].valid {
+				valid++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(valid) / float64(total)
+}

@@ -1,0 +1,111 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := NewCache(8<<10, 128, 8)
+	if hit, _, _ := c.Access(0x1000, 1); hit {
+		t.Fatal("cold access hit")
+	}
+	if hit, _, _ := c.Access(0x1000, 1); !hit {
+		t.Fatal("second access missed")
+	}
+	// Same line, different offset.
+	if hit, _, _ := c.Access(0x1040, 1); !hit {
+		t.Fatal("same-line access missed")
+	}
+	// Next line.
+	if hit, _, _ := c.Access(0x1080, 1); hit {
+		t.Fatal("next-line access hit")
+	}
+}
+
+func TestCacheLRUReplacement(t *testing.T) {
+	// 2-way cache with 2 sets: lines mapping to set 0 are multiples of
+	// 2*lineSize.
+	c := NewCache(4*128, 128, 2)
+	a, b, d := uint64(0), uint64(2*128), uint64(4*128) // all set 0
+	c.Access(a, 0)
+	c.Access(b, 0)
+	c.Access(a, 0) // a is MRU, b is LRU
+	hit, ev, evicted := c.Access(d, 0)
+	if hit || !evicted {
+		t.Fatalf("expected miss+eviction, hit=%v evicted=%v", hit, evicted)
+	}
+	if ev.Tag != c.LineOf(b) {
+		t.Fatalf("evicted %#x, want %#x (LRU)", ev.Tag, c.LineOf(b))
+	}
+	if hit, _, _ := c.Access(a, 0); !hit {
+		t.Fatal("a should have survived")
+	}
+}
+
+func TestCacheEvictionAttribution(t *testing.T) {
+	c := NewCache(2*128, 128, 2) // 1 set, 2 ways
+	c.Access(0, 7)
+	c.Access(128, 8)
+	_, ev, evicted := c.Access(256, 9)
+	if !evicted || ev.AllocWarp != 7 {
+		t.Fatalf("eviction attribution = %+v (evicted=%v), want warp 7", ev, evicted)
+	}
+}
+
+func TestCacheProbeDoesNotTouch(t *testing.T) {
+	c := NewCache(2*128, 128, 2)
+	c.Access(0, 0)   // way A
+	c.Access(128, 0) // way B; A is LRU
+	if !c.Probe(0) {
+		t.Fatal("probe missed resident line")
+	}
+	// Probe must not refresh recency: filling a third line still evicts A.
+	_, ev, _ := c.Access(256, 0)
+	if ev.Tag != 0 {
+		t.Fatalf("probe refreshed recency; evicted %#x", ev.Tag)
+	}
+}
+
+func TestCacheFlush(t *testing.T) {
+	c := NewCache(8<<10, 128, 8)
+	c.Access(0x4000, 0)
+	c.Flush()
+	if c.Probe(0x4000) {
+		t.Fatal("line survived flush")
+	}
+	if c.Occupancy() != 0 {
+		t.Fatal("occupancy nonzero after flush")
+	}
+}
+
+// TestCacheInclusionQuick: after any access the line is present; capacity
+// never exceeds ways*sets.
+func TestCacheInclusionQuick(t *testing.T) {
+	c := NewCache(4<<10, 128, 4)
+	f := func(addr uint32, warp uint8) bool {
+		pa := uint64(addr)
+		c.Access(pa, int(warp))
+		return c.Probe(pa) && c.Occupancy() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheGeometryPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewCache(1000, 128, 8) }, // doesn't divide
+		func() { NewCache(3*128, 128, 1) },
+		func() { NewCache(8<<10, 100, 8) }, // line not power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad geometry accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,99 @@
+package mem
+
+import (
+	"testing"
+
+	"gpummu/internal/config"
+	"gpummu/internal/engine"
+	"gpummu/internal/stats"
+)
+
+func newTestSystem() (*System, *stats.Sim) {
+	st := &stats.Sim{}
+	return NewSystem(config.SmallTest(), st), st
+}
+
+func TestSystemColdThenWarm(t *testing.T) {
+	s, st := newTestSystem()
+	cfg := config.SmallTest()
+
+	done1, hit1 := s.Access(0, 0x10000, ClassData)
+	if hit1 {
+		t.Fatal("cold access hit L2")
+	}
+	minCold := engine.Cycle(2*cfg.ICNTLatency + cfg.L2Latency + cfg.DRAMLatency)
+	if done1 < minCold {
+		t.Fatalf("cold access done at %d, want >= %d", done1, minCold)
+	}
+
+	done2, hit2 := s.Access(done1, 0x10000, ClassData)
+	if !hit2 {
+		t.Fatal("warm access missed L2")
+	}
+	if done2-done1 >= done1 {
+		t.Fatalf("warm access latency %d not below cold %d", done2-done1, done1)
+	}
+	if st.L2Accesses != 2 || st.L2Hits != 1 || st.L2Misses != 1 {
+		t.Fatalf("L2 stats = %d/%d/%d", st.L2Accesses, st.L2Hits, st.L2Misses)
+	}
+}
+
+func TestSystemPartitionInterleave(t *testing.T) {
+	s, _ := newTestSystem()
+	lineSize := uint64(1) << s.LineShift()
+	p0 := s.Partition(0)
+	p1 := s.Partition(lineSize)
+	if p0 == p1 {
+		t.Fatal("adjacent lines land on the same partition")
+	}
+	if s.Partition(0) != s.Partition(63) {
+		t.Fatal("same line split across partitions")
+	}
+}
+
+func TestSystemWalkClassCountsWalkCacheHits(t *testing.T) {
+	s, st := newTestSystem()
+	s.Access(0, 0x20000, ClassWalk) // cold: no walk$ hit
+	if st.WalkCacheHits != 0 {
+		t.Fatal("cold walk counted as walk cache hit")
+	}
+	s.Access(1000, 0x20000, ClassWalk)
+	if st.WalkCacheHits != 1 {
+		t.Fatalf("warm walk not counted: %d", st.WalkCacheHits)
+	}
+}
+
+func TestSystemDRAMContention(t *testing.T) {
+	s, _ := newTestSystem()
+	cfg := config.SmallTest()
+	lineSize := uint64(1) << s.LineShift()
+	stride := lineSize * uint64(cfg.NumPartitions) // all to one partition
+
+	var last engine.Cycle
+	for i := 0; i < 64; i++ {
+		done, _ := s.Access(0, uint64(0x100000)+uint64(i)*stride, ClassData)
+		if done > last {
+			last = done
+		}
+	}
+	// 64 misses through one DRAM channel must serialise at DRAMBusy each.
+	minSerial := engine.Cycle(64 * cfg.DRAMBusy)
+	if last < minSerial {
+		t.Fatalf("64 same-channel misses finished by %d, want >= %d", last, minSerial)
+	}
+}
+
+func TestSystemL2Probe(t *testing.T) {
+	s, _ := newTestSystem()
+	if s.L2Probe(0x30000) {
+		t.Fatal("probe hit on cold L2")
+	}
+	s.Access(0, 0x30000, ClassData)
+	if !s.L2Probe(0x30000) {
+		t.Fatal("probe missed resident line")
+	}
+	s.FlushL2()
+	if s.L2Probe(0x30000) {
+		t.Fatal("line survived FlushL2")
+	}
+}

@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+}
+
+func TestLatencyAccum(t *testing.T) {
+	var l LatencyAccum
+	if l.Mean() != 0 {
+		t.Fatal("empty mean not zero")
+	}
+	l.Observe(10)
+	l.Observe(30)
+	if l.Mean() != 20 || l.Max != 30 || l.Events != 2 {
+		t.Fatalf("accum = %+v", l)
+	}
+}
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	for _, v := range []int{1, 1, 2, 4, 8} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Max() != 8 {
+		t.Fatalf("count=%d max=%d", h.Count(), h.Max())
+	}
+	if h.Mean() != 16.0/5 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+	if h.Bucket(1) != 2 || h.Bucket(3) != 0 || h.Bucket(99) != 0 {
+		t.Fatal("bucket counts wrong")
+	}
+	if h.Percentile(0.5) != 2 {
+		t.Fatalf("p50 = %d", h.Percentile(0.5))
+	}
+	if h.Percentile(1.0) != 8 {
+		t.Fatalf("p100 = %d", h.Percentile(1.0))
+	}
+}
+
+func TestHistNegativePanics(t *testing.T) {
+	var h Hist
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative sample accepted")
+		}
+	}()
+	h.Observe(-1)
+}
+
+// TestHistSumMatchesQuick: the histogram's internal sum and count track
+// exactly for any sample sequence, and buckets total the count.
+func TestHistSumMatchesQuick(t *testing.T) {
+	f := func(samples []uint8) bool {
+		var h Hist
+		var sum uint64
+		for _, s := range samples {
+			h.Observe(int(s))
+			sum += uint64(s)
+		}
+		var bucketTotal uint64
+		for v := 0; v <= h.Max(); v++ {
+			bucketTotal += h.Bucket(v)
+		}
+		return h.sum == sum && h.Count() == uint64(len(samples)) && bucketTotal == h.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimDerivedRates(t *testing.T) {
+	s := &Sim{}
+	if s.TLBMissRate() != 0 || s.L1MissRate() != 0 || s.MemFraction() != 0 {
+		t.Fatal("empty rates not zero")
+	}
+	s.TLBAccesses = 100
+	s.TLBMisses = 25
+	s.Instructions = 200
+	s.MemInstrs = 50
+	s.L1Accesses = 80
+	s.L1Misses = 40
+	s.WalkRefs = 90
+	s.WalkRefsCoalesced = 10
+	if s.TLBMissRate() != 0.25 || s.L1MissRate() != 0.5 || s.MemFraction() != 0.25 {
+		t.Fatalf("rates = %f %f %f", s.TLBMissRate(), s.L1MissRate(), s.MemFraction())
+	}
+	if s.WalkRefsEliminated() != 0.1 {
+		t.Fatalf("eliminated = %f", s.WalkRefsEliminated())
+	}
+	if !strings.Contains(s.String(), "missrate") {
+		t.Fatal("summary missing fields")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("name", "value")
+	tbl.AddRow("aa", 1.5)
+	tbl.AddRow("b", 10)
+	out := tbl.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[2], "1.500") {
+		t.Fatalf("bad render:\n%s", out)
+	}
+	tbl.SortByColumn(0)
+	if !strings.HasPrefix(strings.TrimSpace(strings.Split(tbl.String(), "\n")[2]), "aa") {
+		t.Fatal("sort broke ordering")
+	}
+}

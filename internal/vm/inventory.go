@@ -1,0 +1,54 @@
+package vm
+
+// Inventory summarises a page table's structure: how many table pages
+// exist at each level and how many leaf mappings of each size are
+// installed. The experiment tooling uses it to report the translation
+// footprint a workload imposes (every table page is also a potential walk
+// target in the simulated physical memory).
+type Inventory struct {
+	TablePages [NumLevels]int // PML4/PDP/PD/PT pages allocated
+	Mappings4K int
+	Mappings2M int
+}
+
+// TotalTablePages sums table pages across levels.
+func (inv Inventory) TotalTablePages() int {
+	n := 0
+	for _, c := range inv.TablePages {
+		n += c
+	}
+	return n
+}
+
+// TableBytes is the physical memory the page tables themselves occupy.
+func (inv Inventory) TableBytes() int { return inv.TotalTablePages() * PageSize4K }
+
+// MappedBytes is the virtual memory reachable through leaf entries.
+func (inv Inventory) MappedBytes() uint64 {
+	return uint64(inv.Mappings4K)*PageSize4K + uint64(inv.Mappings2M)*PageSize2M
+}
+
+// Inventory walks the whole radix tree and reports its shape.
+func (pt *PageTable) Inventory() Inventory {
+	var inv Inventory
+	pt.scan(pt.cr3, levelPML4, &inv)
+	return inv
+}
+
+func (pt *PageTable) scan(base uint64, level int, inv *Inventory) {
+	inv.TablePages[level]++
+	for i := uint64(0); i < entriesPerPT; i++ {
+		e := pt.mem.Read64(base + i*pteSize)
+		if e&pteFlagPresent == 0 {
+			continue
+		}
+		switch {
+		case level == levelPT:
+			inv.Mappings4K++
+		case level == levelPD && e&pteFlagPS != 0:
+			inv.Mappings2M++
+		default:
+			pt.scan(e&pteAddrMask, level+1, inv)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package vm
+
+import "testing"
+
+func TestInventoryCountsMappings(t *testing.T) {
+	m := NewPhysMem()
+	a := NewFrameAllocator(1 << 20)
+	as := NewAddressSpace(m, a, PageShift4K)
+	as.Malloc(10 * PageSize4K)
+	inv := as.PT.Inventory()
+	if inv.Mappings4K != 10 || inv.Mappings2M != 0 {
+		t.Fatalf("mappings = %d/%d, want 10/0", inv.Mappings4K, inv.Mappings2M)
+	}
+	if inv.TablePages[0] != 1 || inv.TablePages[1] != 1 || inv.TablePages[2] != 1 || inv.TablePages[3] < 1 {
+		t.Fatalf("table pages = %v", inv.TablePages)
+	}
+	if inv.MappedBytes() != 10*PageSize4K {
+		t.Fatalf("mapped bytes = %d", inv.MappedBytes())
+	}
+	if inv.TableBytes() != inv.TotalTablePages()*PageSize4K {
+		t.Fatal("table bytes mismatch")
+	}
+}
+
+func TestInventory2M(t *testing.T) {
+	m := NewPhysMem()
+	a := NewFrameAllocator(1 << 20)
+	as := NewAddressSpace(m, a, PageShift2M)
+	as.Malloc(4 << 20) // two large pages
+	inv := as.PT.Inventory()
+	if inv.Mappings2M != 2 || inv.Mappings4K != 0 {
+		t.Fatalf("mappings = %d/%d, want 0/2", inv.Mappings4K, inv.Mappings2M)
+	}
+	if inv.TablePages[3] != 0 {
+		t.Fatalf("2M-only table has %d PT pages", inv.TablePages[3])
+	}
+	if inv.MappedBytes() != 4<<20 {
+		t.Fatalf("mapped bytes = %d", inv.MappedBytes())
+	}
+}
+
+func TestInventorySpansUpperLevels(t *testing.T) {
+	m := NewPhysMem()
+	a := NewFrameAllocator(1 << 20)
+	pt := NewPageTable(m, a)
+	// Two VAs in different PML4 slots force two subtrees.
+	if err := pt.Map4K(0x0000_0000_0000_0000, a.Alloc4K()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map4K(0x0000_7F00_0000_0000, a.Alloc4K()); err != nil {
+		t.Fatal(err)
+	}
+	inv := pt.Inventory()
+	if inv.TablePages[1] != 2 || inv.TablePages[2] != 2 || inv.TablePages[3] != 2 {
+		t.Fatalf("table pages = %v, want two subtrees", inv.TablePages)
+	}
+	if inv.Mappings4K != 2 {
+		t.Fatalf("mappings = %d", inv.Mappings4K)
+	}
+}

@@ -1,0 +1,178 @@
+package vm
+
+import "fmt"
+
+// x86-64 long-mode paging constants. A virtual address decomposes into four
+// 9-bit indices (PML4, PDP, PD, PT) plus a 12-bit page offset; a 2 MB large
+// page terminates the walk at the PD level with the PS bit set.
+const (
+	levelPML4 = 0
+	levelPDP  = 1
+	levelPD   = 2
+	levelPT   = 3
+
+	// NumLevels is the depth of an x86-64 walk for 4 KB pages.
+	NumLevels = 4
+
+	pteSize      = 8
+	entriesPerPT = 512
+
+	pteFlagPresent = 1 << 0
+	pteFlagWrite   = 1 << 1
+	pteFlagPS      = 1 << 7 // page size: entry maps a 2 MB page at PD level
+
+	pteAddrMask = 0x000F_FFFF_FFFF_F000
+)
+
+// LevelName returns the conventional x86 name for walk level l (0..3).
+func LevelName(l int) string {
+	switch l {
+	case levelPML4:
+		return "PML4"
+	case levelPDP:
+		return "PDP"
+	case levelPD:
+		return "PD"
+	case levelPT:
+		return "PT"
+	}
+	return fmt.Sprintf("L%d", l)
+}
+
+// VPNIndex extracts the 9-bit page table index for walk level l from a
+// virtual address, exactly as the hardware walker does (bits 47-39 for
+// PML4 down to bits 20-12 for PT).
+func VPNIndex(va uint64, l int) uint64 {
+	shift := uint(39 - 9*l)
+	return (va >> shift) & 0x1FF
+}
+
+// Translation is the result of a completed page table walk.
+type Translation struct {
+	VA        uint64 // the translated virtual address
+	PA        uint64 // full physical address (page base | offset)
+	PageShift uint   // 12 for 4 KB, 21 for 2 MB
+	Levels    int    // memory references the walk performed (4 or 3)
+	LevelPAs  []uint64
+}
+
+// PageBase returns the physical base address of the containing page.
+func (t Translation) PageBase() uint64 {
+	return t.PA &^ ((1 << t.PageShift) - 1)
+}
+
+// PageTable is a real x86-64 4-level page table stored in simulated
+// physical memory. The table root (CR3) and every intermediate table are
+// ordinary physical pages obtained from the frame allocator, so page walks
+// performed by the MMU touch the same cached physical memory as data
+// accesses do.
+type PageTable struct {
+	mem   *PhysMem
+	alloc *FrameAllocator
+	cr3   uint64
+}
+
+// NewPageTable allocates an empty table rooted at a fresh frame.
+func NewPageTable(mem *PhysMem, alloc *FrameAllocator) *PageTable {
+	pt := &PageTable{mem: mem, alloc: alloc}
+	pt.cr3 = alloc.Alloc4K()
+	return pt
+}
+
+// CR3 returns the physical base address of the root (PML4) table.
+func (pt *PageTable) CR3() uint64 { return pt.cr3 }
+
+// entryPA returns the physical address of the level-l entry for va given the
+// table base for that level.
+func entryPA(tableBase, va uint64, l int) uint64 {
+	return tableBase + VPNIndex(va, l)*pteSize
+}
+
+// ensureTable reads the entry at pa and returns the physical base of the
+// next-level table, allocating and installing it if absent.
+func (pt *PageTable) ensureTable(pa uint64) uint64 {
+	e := pt.mem.Read64(pa)
+	if e&pteFlagPresent != 0 {
+		if e&pteFlagPS != 0 {
+			panic("vm: remapping a large-page entry as a table")
+		}
+		return e & pteAddrMask
+	}
+	base := pt.alloc.Alloc4K()
+	pt.mem.Write64(pa, base|pteFlagPresent|pteFlagWrite)
+	return base
+}
+
+// Map4K installs a 4 KB translation va -> pa. Both must be 4 KB aligned.
+func (pt *PageTable) Map4K(va, pa uint64) error {
+	if va&(PageSize4K-1) != 0 || pa&(PageSize4K-1) != 0 {
+		return fmt.Errorf("vm: Map4K alignment: va=%#x pa=%#x", va, pa)
+	}
+	base := pt.cr3
+	for l := levelPML4; l < levelPT; l++ {
+		base = pt.ensureTable(entryPA(base, va, l))
+	}
+	ep := entryPA(base, va, levelPT)
+	if pt.mem.Read64(ep)&pteFlagPresent != 0 {
+		return fmt.Errorf("vm: va %#x already mapped", va)
+	}
+	pt.mem.Write64(ep, pa|pteFlagPresent|pteFlagWrite)
+	return nil
+}
+
+// Map2M installs a 2 MB translation va -> pa. Both must be 2 MB aligned.
+func (pt *PageTable) Map2M(va, pa uint64) error {
+	if va&(PageSize2M-1) != 0 || pa&(PageSize2M-1) != 0 {
+		return fmt.Errorf("vm: Map2M alignment: va=%#x pa=%#x", va, pa)
+	}
+	base := pt.cr3
+	for l := levelPML4; l < levelPD; l++ {
+		base = pt.ensureTable(entryPA(base, va, l))
+	}
+	ep := entryPA(base, va, levelPD)
+	if pt.mem.Read64(ep)&pteFlagPresent != 0 {
+		return fmt.Errorf("vm: va %#x already mapped", va)
+	}
+	pt.mem.Write64(ep, pa|pteFlagPresent|pteFlagWrite|pteFlagPS)
+	return nil
+}
+
+// Walk performs a full page table walk for va, returning the translation
+// and the physical address of every PTE read. It mirrors exactly what the
+// hardware walker does; internal/core issues the same loads through the
+// timing model.
+func (pt *PageTable) Walk(va uint64) (Translation, error) {
+	t := Translation{VA: va, LevelPAs: make([]uint64, 0, NumLevels)}
+	base := pt.cr3
+	for l := levelPML4; l < NumLevels; l++ {
+		ep := entryPA(base, va, l)
+		t.LevelPAs = append(t.LevelPAs, ep)
+		e := pt.mem.Read64(ep)
+		if e&pteFlagPresent == 0 {
+			return t, fmt.Errorf("vm: page fault at va %#x (level %s)", va, LevelName(l))
+		}
+		if l == levelPD && e&pteFlagPS != 0 {
+			t.PageShift = PageShift2M
+			t.Levels = 3
+			t.PA = (e & pteAddrMask &^ (PageSize2M - 1)) | (va & (PageSize2M - 1))
+			return t, nil
+		}
+		base = e & pteAddrMask
+		if l == levelPT {
+			t.PageShift = PageShift4K
+			t.Levels = 4
+			t.PA = base | (va & (PageSize4K - 1))
+			return t, nil
+		}
+	}
+	panic("vm: unreachable walk state")
+}
+
+// Translate is a convenience wrapper returning only the physical address.
+func (pt *PageTable) Translate(va uint64) (uint64, bool) {
+	t, err := pt.Walk(va)
+	if err != nil {
+		return 0, false
+	}
+	return t.PA, true
+}

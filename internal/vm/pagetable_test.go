@@ -1,0 +1,233 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestPT() (*PageTable, *PhysMem, *FrameAllocator) {
+	m := NewPhysMem()
+	a := NewFrameAllocator(1 << 20)
+	return NewPageTable(m, a), m, a
+}
+
+func TestVPNIndex(t *testing.T) {
+	// Bits 47-39, 38-30, 29-21, 20-12.
+	va := uint64(0x5C00_1234_5000)
+	want := []uint64{
+		(va >> 39) & 0x1FF,
+		(va >> 30) & 0x1FF,
+		(va >> 21) & 0x1FF,
+		(va >> 12) & 0x1FF,
+	}
+	for l, w := range want {
+		if got := VPNIndex(va, l); got != w {
+			t.Fatalf("level %s index = %#x, want %#x", LevelName(l), got, w)
+		}
+	}
+}
+
+func TestMapWalk4K(t *testing.T) {
+	pt, _, a := newTestPT()
+	va := uint64(0x5C00_0000_0000)
+	pa := a.Alloc4K()
+	if err := pt.Map4K(va, pa); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pt.Walk(va + 0x123)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PA != pa+0x123 {
+		t.Fatalf("walk PA = %#x, want %#x", tr.PA, pa+0x123)
+	}
+	if tr.Levels != 4 || tr.PageShift != PageShift4K {
+		t.Fatalf("walk meta = %d levels, shift %d", tr.Levels, tr.PageShift)
+	}
+	if len(tr.LevelPAs) != 4 {
+		t.Fatalf("walk recorded %d PTE addresses", len(tr.LevelPAs))
+	}
+}
+
+func TestMapWalk2M(t *testing.T) {
+	pt, _, a := newTestPT()
+	va := uint64(0x5C00_0020_0000)
+	pa := a.Alloc2M()
+	if err := pt.Map2M(va, pa); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := pt.Walk(va + 0x12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.PA != pa+0x12345 {
+		t.Fatalf("walk PA = %#x, want %#x", tr.PA, pa+0x12345)
+	}
+	if tr.Levels != 3 || tr.PageShift != PageShift2M {
+		t.Fatalf("walk meta = %d levels, shift %d", tr.Levels, tr.PageShift)
+	}
+}
+
+func TestWalkUnmappedFaults(t *testing.T) {
+	pt, _, _ := newTestPT()
+	if _, err := pt.Walk(0x1234_5000); err == nil {
+		t.Fatal("walk of unmapped address did not fault")
+	}
+	if _, ok := pt.Translate(0x1234_5000); ok {
+		t.Fatal("translate of unmapped address succeeded")
+	}
+}
+
+func TestDoubleMapRejected(t *testing.T) {
+	pt, _, a := newTestPT()
+	va := uint64(0x5C00_0000_0000)
+	if err := pt.Map4K(va, a.Alloc4K()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map4K(va, a.Alloc4K()); err == nil {
+		t.Fatal("remap did not error")
+	}
+}
+
+func TestMapAlignmentRejected(t *testing.T) {
+	pt, _, a := newTestPT()
+	if err := pt.Map4K(0x1001, a.Alloc4K()); err == nil {
+		t.Fatal("unaligned 4K va accepted")
+	}
+	if err := pt.Map2M(0x1000, a.Alloc2M()); err == nil {
+		t.Fatal("unaligned 2M va accepted")
+	}
+}
+
+// TestWalkSharesUpperLevels: two VAs within the same 2 MB region must share
+// their PML4, PDP, and PD entry addresses and differ only at the PT level —
+// the property the paper's PTW scheduler exploits (figure 8).
+func TestWalkSharesUpperLevels(t *testing.T) {
+	pt, _, a := newTestPT()
+	va1 := uint64(0x5C00_0000_0000)
+	va2 := va1 + PageSize4K
+	if err := pt.Map4K(va1, a.Alloc4K()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.Map4K(va2, a.Alloc4K()); err != nil {
+		t.Fatal(err)
+	}
+	t1, _ := pt.Walk(va1)
+	t2, _ := pt.Walk(va2)
+	for l := 0; l < 3; l++ {
+		if t1.LevelPAs[l] != t2.LevelPAs[l] {
+			t.Fatalf("level %s PTE addresses differ: %#x vs %#x", LevelName(l), t1.LevelPAs[l], t2.LevelPAs[l])
+		}
+	}
+	if t1.LevelPAs[3] == t2.LevelPAs[3] {
+		t.Fatal("PT-level entries should differ")
+	}
+	// Adjacent pages' PT entries share a cache line (16 PTEs per 128 B).
+	if t1.LevelPAs[3]>>7 != t2.LevelPAs[3]>>7 {
+		t.Fatal("adjacent PT entries not on the same 128-byte line")
+	}
+}
+
+// TestWalkMatchesMapQuick property-tests Map4K/Walk agreement over random
+// page-aligned virtual addresses in the canonical lower half.
+func TestWalkMatchesMapQuick(t *testing.T) {
+	pt, _, a := newTestPT()
+	mapped := make(map[uint64]uint64)
+	f := func(raw uint64) bool {
+		va := (raw % (1 << 47)) &^ (PageSize4K - 1)
+		if _, dup := mapped[va]; dup {
+			pa, _ := pt.Translate(va)
+			return pa == mapped[va]
+		}
+		pa := a.Alloc4K()
+		if err := pt.Map4K(va, pa); err != nil {
+			return false
+		}
+		mapped[va] = pa
+		got, ok := pt.Translate(va)
+		return ok && got == pa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSpaceMallocReadWrite(t *testing.T) {
+	m := NewPhysMem()
+	a := NewFrameAllocator(1 << 20)
+	as := NewAddressSpace(m, a, PageShift4K)
+	base := as.Malloc(64 << 10)
+	for i := uint64(0); i < 64<<10; i += 8 {
+		as.Write64(base+i, i*3)
+	}
+	for i := uint64(0); i < 64<<10; i += 8 {
+		if got := as.Read64(base + i); got != i*3 {
+			t.Fatalf("readback at +%d = %d, want %d", i, got, i*3)
+		}
+	}
+}
+
+func TestAddressSpaceAllocationsDisjoint(t *testing.T) {
+	m := NewPhysMem()
+	a := NewFrameAllocator(1 << 20)
+	as := NewAddressSpace(m, a, PageShift4K)
+	x := as.Malloc(100)
+	y := as.Malloc(100)
+	as.Write64(x, 111)
+	as.Write64(y, 222)
+	if as.Read64(x) != 111 || as.Read64(y) != 222 {
+		t.Fatal("allocations alias")
+	}
+	if y < x+PageSize4K {
+		t.Fatalf("allocations overlap: %#x then %#x", x, y)
+	}
+}
+
+func TestAddressSpaceGuardPageUnmapped(t *testing.T) {
+	m := NewPhysMem()
+	a := NewFrameAllocator(1 << 20)
+	as := NewAddressSpace(m, a, PageShift4K)
+	x := as.Malloc(PageSize4K)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("guard page access did not panic")
+		}
+	}()
+	as.Read64(x + PageSize4K) // one past the allocation: guard slack
+}
+
+func TestAddressSpace2M(t *testing.T) {
+	m := NewPhysMem()
+	a := NewFrameAllocator(1 << 20)
+	as := NewAddressSpace(m, a, PageShift2M)
+	base := as.Malloc(3 << 20) // 2 large pages
+	as.Write64(base, 42)
+	as.Write64(base+(2<<20), 43)
+	if as.Read64(base) != 42 || as.Read64(base+(2<<20)) != 43 {
+		t.Fatal("2M-backed readback failed")
+	}
+	tr, err := as.PT.Walk(base)
+	if err != nil || tr.PageShift != PageShift2M {
+		t.Fatalf("expected 2M mapping, got shift %d err %v", tr.PageShift, err)
+	}
+}
+
+func TestTranslatorMemoises(t *testing.T) {
+	m := NewPhysMem()
+	a := NewFrameAllocator(1 << 20)
+	as := NewAddressSpace(m, a, PageShift4K)
+	base := as.Malloc(PageSize4K * 4)
+	tr := NewTranslator(as.PT, PageShift4K)
+	want, _ := as.PT.Translate(base + 8)
+	if got := tr.Translate(base + 8); got != want {
+		t.Fatalf("translator = %#x, want %#x", got, want)
+	}
+	// Second lookup hits the memo (same result).
+	if got := tr.Translate(base + 16); got != want+8 {
+		t.Fatalf("translator offset = %#x, want %#x", got, want+8)
+	}
+	lk := tr.Lookup(base)
+	if len(lk.LevelPAs) != 4 {
+		t.Fatalf("lookup carries %d level PAs", len(lk.LevelPAs))
+	}
+}

@@ -1,0 +1,148 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPhysMemReadWrite64(t *testing.T) {
+	m := NewPhysMem()
+	m.Write64(0x1000, 0xDEADBEEFCAFEBABE)
+	if got := m.Read64(0x1000); got != 0xDEADBEEFCAFEBABE {
+		t.Fatalf("Read64 = %#x", got)
+	}
+	if got := m.Read64(0x2000); got != 0 {
+		t.Fatalf("unwritten memory = %#x, want 0", got)
+	}
+}
+
+func TestPhysMemLittleEndian(t *testing.T) {
+	m := NewPhysMem()
+	m.Write64(0x100, 0x0807060504030201)
+	for i := uint64(0); i < 8; i++ {
+		if got := m.ReadU8(0x100 + i); got != byte(i+1) {
+			t.Fatalf("byte %d = %#x, want %#x", i, got, i+1)
+		}
+	}
+	if got := m.Read32(0x100); got != 0x04030201 {
+		t.Fatalf("Read32 = %#x", got)
+	}
+	if got := m.Read32(0x104); got != 0x08070605 {
+		t.Fatalf("Read32 hi = %#x", got)
+	}
+}
+
+func TestPhysMemWrite32Isolated(t *testing.T) {
+	m := NewPhysMem()
+	m.Write64(0x200, ^uint64(0))
+	m.Write32(0x200, 0)
+	if got := m.Read64(0x200); got != 0xFFFFFFFF00000000 {
+		t.Fatalf("Read64 after Write32 = %#x", got)
+	}
+}
+
+func TestPhysMemMisalignedPanics(t *testing.T) {
+	m := NewPhysMem()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("misaligned Read64 did not panic")
+		}
+	}()
+	m.Read64(0x1001)
+}
+
+func TestPhysMemSparseBacking(t *testing.T) {
+	m := NewPhysMem()
+	if m.BackedPages() != 0 {
+		t.Fatalf("fresh memory backs %d pages", m.BackedPages())
+	}
+	// Reading does not materialise pages.
+	_ = m.Read64(0x123000)
+	if m.BackedPages() != 0 {
+		t.Fatalf("read materialised a page")
+	}
+	m.Write64(0x123000, 1)
+	m.Write64(0x123008, 1)
+	if m.BackedPages() != 1 {
+		t.Fatalf("two writes in one page back %d pages", m.BackedPages())
+	}
+}
+
+// TestPhysMemRoundTripQuick property-tests: a 64-bit write to any aligned
+// address reads back identically.
+func TestPhysMemRoundTripQuick(t *testing.T) {
+	m := NewPhysMem()
+	f := func(page uint32, slot uint8, val uint64) bool {
+		pa := uint64(page)<<PageShift4K | (uint64(slot)%512)*8
+		m.Write64(pa, val)
+		return m.Read64(pa) == val
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameAllocatorUnique(t *testing.T) {
+	a := NewFrameAllocator(1 << 16)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 1<<15; i++ {
+		pa := a.Alloc4K()
+		if pa&(PageSize4K-1) != 0 {
+			t.Fatalf("unaligned frame %#x", pa)
+		}
+		if seen[pa] {
+			t.Fatalf("frame %#x handed out twice (iteration %d)", pa, i)
+		}
+		seen[pa] = true
+	}
+}
+
+func TestFrameAllocatorScatters(t *testing.T) {
+	a := NewFrameAllocator(1 << 16)
+	// Consecutive allocations should not be physically consecutive —
+	// scattered frames are what make walk locality realistic.
+	adjacent := 0
+	prev := a.Alloc4K()
+	for i := 0; i < 1000; i++ {
+		cur := a.Alloc4K()
+		if cur == prev+PageSize4K {
+			adjacent++
+		}
+		prev = cur
+	}
+	if adjacent > 10 {
+		t.Fatalf("%d/1000 consecutive allocations were adjacent", adjacent)
+	}
+}
+
+func TestFrameAllocator2MAlignmentAndDisjoint(t *testing.T) {
+	a := NewFrameAllocator(1 << 16)
+	small := make(map[uint64]bool)
+	for i := 0; i < 512; i++ {
+		small[a.Alloc4K()>>PageShift4K] = true
+	}
+	for i := 0; i < 16; i++ {
+		pa := a.Alloc2M()
+		if pa&(PageSize2M-1) != 0 {
+			t.Fatalf("unaligned superframe %#x", pa)
+		}
+		for f := uint64(0); f < PageSize2M/PageSize4K; f++ {
+			if small[(pa>>PageShift4K)+f] {
+				t.Fatalf("superframe %#x overlaps a 4K frame", pa)
+			}
+		}
+	}
+}
+
+func TestFrameAllocatorExhaustion(t *testing.T) {
+	a := NewFrameAllocator(16)
+	for i := 0; i < 8; i++ {
+		a.Alloc4K()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted allocator did not panic")
+		}
+	}()
+	a.Alloc4K()
+}

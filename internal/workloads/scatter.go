@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpummu/internal/kernels"
+)
+
+// warpScramble is the odd multiplier used to scatter warp base indices.
+// Multiplication by an odd constant is a bijection modulo any power of two,
+// so every element is still covered exactly once.
+const warpScramble = 0x9E3779B1
+
+// emitScatteredIndex emits code computing a scattered element index into
+// dst: consecutive lanes stay consecutive (so warp accesses remain
+// coalesced, keeping page divergence low like the paper's regular
+// workloads), but warp *groups* land far apart in the element space.
+//
+// This reproduces, at simulable footprints, the paper's key property that
+// a core's 48 resident warps touch far more distinct pages than a
+// 128-entry TLB holds: with linear indexing a resident thread block covers
+// a handful of pages, which no >1 GB-footprint GPGPU run ever does.
+// DESIGN.md section 4 documents this substitution.
+//
+// group warps stay contiguous (group must be a power of two); a larger
+// group softens TLB pressure, modelling workloads with more spatial reuse.
+//
+//	g    = (tid >> 5) / group
+//	off  = (tid >> 5) % group
+//	base = (((g * scramble) % (nwarps/group)) * group + off) * 32
+//	dst  = base + lane
+//
+// nelems must be a power of two multiple of 32*group.
+func emitScatteredIndex(b *kernels.Builder, dst, tmp kernels.Reg, nelems, group int) {
+	nwarps := nelems / 32
+	if group < 1 {
+		group = 1
+	}
+	groups := nwarps / group
+	if groups <= 0 || groups&(groups-1) != 0 || group&(group-1) != 0 {
+		panic(fmt.Sprintf("workloads: scattered index needs power-of-two geometry (nelems=%d group=%d)", nelems, group))
+	}
+	gShift := int64(0)
+	for 1<<gShift < group {
+		gShift++
+	}
+	b.Special(dst, kernels.SpecGlobalTID)
+	b.ShrImm(dst, dst, 5)
+	// tmp = warp % group (offset inside the contiguous run)
+	b.AndImm(tmp, dst, int64(group-1))
+	// dst = scrambled group id
+	b.ShrImm(dst, dst, gShift)
+	b.MulImm(dst, dst, warpScramble)
+	b.AndImm(dst, dst, int64(groups-1))
+	// dst = (dst*group + tmp) * 32
+	b.ShlImm(dst, dst, gShift)
+	b.Add(dst, dst, tmp)
+	b.ShlImm(dst, dst, 5)
+	// + lane
+	b.Special(tmp, kernels.SpecLane)
+	b.Add(dst, dst, tmp)
+}
+
+// scatteredIndex is the host-side mirror of emitScatteredIndex, used by
+// functional checks.
+func scatteredIndex(tid, nelems, group int) int {
+	if group < 1 {
+		group = 1
+	}
+	nwarps := nelems / 32
+	groups := nwarps / group
+	w := tid >> 5
+	g := ((w / group * warpScramble) & (groups - 1)) * group
+	return (g+w%group)*32 + tid&31
+}

@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestScatteredIndexBijection: for every supported geometry, the scatter is
+// a bijection over [0, nelems) — every element owned by exactly one thread.
+func TestScatteredIndexBijection(t *testing.T) {
+	for _, tc := range []struct{ nelems, group int }{
+		{1 << 10, 1}, {1 << 10, 2}, {1 << 10, 4},
+		{1 << 12, 1}, {1 << 12, 8},
+	} {
+		seen := make([]bool, tc.nelems)
+		for tid := 0; tid < tc.nelems; tid++ {
+			idx := scatteredIndex(tid, tc.nelems, tc.group)
+			if idx < 0 || idx >= tc.nelems {
+				t.Fatalf("nelems=%d group=%d tid=%d: out of range %d", tc.nelems, tc.group, tid, idx)
+			}
+			if seen[idx] {
+				t.Fatalf("nelems=%d group=%d: element %d covered twice", tc.nelems, tc.group, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestScatteredIndexLanePreserving: lanes within a warp stay consecutive,
+// so coalescing (and the paper's low page divergence for regular
+// workloads) is preserved.
+func TestScatteredIndexLanePreserving(t *testing.T) {
+	const nelems = 1 << 12
+	f := func(warpRaw uint16, laneRaw uint8) bool {
+		warp := int(warpRaw) % (nelems / 32)
+		lane := int(laneRaw) % 32
+		base := scatteredIndex(warp*32, nelems, 1)
+		return scatteredIndex(warp*32+lane, nelems, 1) == base+lane
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScatteredIndexGroupContiguity: within a group of warps, warp bases
+// are consecutive 32-element runs.
+func TestScatteredIndexGroupContiguity(t *testing.T) {
+	const nelems, group = 1 << 12, 4
+	for w := 0; w+group <= nelems/32; w += group {
+		base := scatteredIndex(w*32, nelems, group)
+		for o := 1; o < group; o++ {
+			got := scatteredIndex((w+o)*32, nelems, group)
+			if got != base+o*32 {
+				t.Fatalf("warp %d+%d base %d, want %d", w, o, got, base+o*32)
+			}
+		}
+	}
+}
+
+// TestScatteredIndexScatters: consecutive warp groups must not be adjacent
+// in element space (that is the entire point).
+func TestScatteredIndexScatters(t *testing.T) {
+	const nelems = 1 << 14
+	adjacent := 0
+	for w := 0; w+1 < nelems/32; w++ {
+		a := scatteredIndex(w*32, nelems, 1)
+		b := scatteredIndex((w+1)*32, nelems, 1)
+		if b == a+32 {
+			adjacent++
+		}
+	}
+	if adjacent > nelems/32/16 {
+		t.Fatalf("%d of %d consecutive warps adjacent", adjacent, nelems/32)
+	}
+}

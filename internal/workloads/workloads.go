@@ -1,0 +1,146 @@
+// Package workloads re-implements the paper's six evaluation workloads —
+// bfs, kmeans, streamcluster, mummergpu, pathfinder (Rodinia) and memcached
+// (Wikipedia-trace key-value store) — as kernels in the simulator's SIMT
+// ISA over synthetic datasets. The datasets are substitutions (we cannot
+// run CUDA binaries; see DESIGN.md section 4): each preserves the address-
+// stream property the paper keys on, e.g. bfs's data-dependent gathers,
+// mummergpu's far-flung pointer chases, memcached's Zipf-skewed hash
+// probes.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+
+	"gpummu/internal/engine"
+	"gpummu/internal/kernels"
+	"gpummu/internal/vm"
+)
+
+// Size selects the dataset scale.
+type Size int
+
+// Dataset scales. Tiny exists for unit tests; Small for benchmarks and quick
+// sweeps; Medium for the figure reproductions; Large approaches the paper's
+// >1 GB footprints (slow: minutes per simulation).
+const (
+	SizeTiny Size = iota
+	SizeSmall
+	SizeMedium
+	SizeLarge
+)
+
+// String implements fmt.Stringer.
+func (s Size) String() string {
+	switch s {
+	case SizeTiny:
+		return "tiny"
+	case SizeSmall:
+		return "small"
+	case SizeMedium:
+		return "medium"
+	case SizeLarge:
+		return "large"
+	}
+	return fmt.Sprintf("size(%d)", int(s))
+}
+
+// Workload is a ready-to-run benchmark: an address space populated with its
+// dataset and a kernel launch over it.
+type Workload struct {
+	Name   string
+	AS     *vm.AddressSpace
+	Launch *kernels.Launch
+
+	// Check, when non-nil, validates functional results after a run
+	// (used by tests to prove kernels compute what they claim).
+	Check func() error
+}
+
+// builder constructs one workload at a given scale.
+type builder func(env *Env) (*Workload, error)
+
+// Env carries the common construction context.
+type Env struct {
+	Size      Size
+	PageShift uint
+	Seed      uint64
+
+	AS  *vm.AddressSpace
+	RNG *engine.RNG
+}
+
+// scale interpolates a per-size value.
+func (e *Env) scale(tiny, small, medium, large int) int {
+	switch e.Size {
+	case SizeTiny:
+		return tiny
+	case SizeSmall:
+		return small
+	case SizeMedium:
+		return medium
+	default:
+		return large
+	}
+}
+
+var registry = map[string]builder{
+	"bfs":           buildBFS,
+	"kmeans":        buildKMeans,
+	"streamcluster": buildStreamcluster,
+	"mummergpu":     buildMummer,
+	"pathfinder":    buildPathfinder,
+	"memcached":     buildMemcached,
+	"pointerchase":  buildPointerChase,
+}
+
+// Names returns the registered workload names, sorted. The first six are
+// the paper's evaluation set; pointerchase is an extra microbenchmark.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PaperSet returns the paper's six workloads in the order its figures list
+// them.
+func PaperSet() []string {
+	return []string{"bfs", "kmeans", "streamcluster", "mummergpu", "pathfinder", "memcached"}
+}
+
+// Build constructs the named workload at the given scale and page size.
+// Each workload gets its own simulated physical memory and page table.
+func Build(name string, size Size, pageShift uint, seed uint64) (*Workload, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+	}
+	pm := vm.NewPhysMem()
+	// 1<<23 frames = 32 GB of physical address space; backing is sparse.
+	alloc := vm.NewFrameAllocator(1 << 23)
+	env := &Env{
+		Size:      size,
+		PageShift: pageShift,
+		Seed:      seed,
+		AS:        vm.NewAddressSpace(pm, alloc, pageShift),
+		RNG:       engine.NewRNG(seed ^ 0xA5A5_5A5A),
+	}
+	w, err := b(env)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: building %s: %w", name, err)
+	}
+	w.Name = name
+	if err := w.Launch.Validate(); err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", name, err)
+	}
+	return w, nil
+}
+
+// gridFor computes a launch geometry covering threads with blockDim-sized
+// blocks.
+func gridFor(threads, blockDim int) (grid int) {
+	return (threads + blockDim - 1) / blockDim
+}

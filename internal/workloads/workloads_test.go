@@ -1,0 +1,95 @@
+package workloads
+
+import (
+	"testing"
+
+	"gpummu/internal/vm"
+)
+
+func TestNamesIncludePaperSet(t *testing.T) {
+	names := map[string]bool{}
+	for _, n := range Names() {
+		names[n] = true
+	}
+	for _, n := range PaperSet() {
+		if !names[n] {
+			t.Errorf("paper workload %q not registered", n)
+		}
+	}
+	if len(PaperSet()) != 6 {
+		t.Fatalf("paper set has %d entries", len(PaperSet()))
+	}
+}
+
+func TestBuildUnknownErrors(t *testing.T) {
+	if _, err := Build("nope", SizeTiny, vm.PageShift4K, 1); err == nil {
+		t.Fatal("unknown workload built")
+	}
+}
+
+func TestBuildAllTiny(t *testing.T) {
+	for _, n := range Names() {
+		w, err := Build(n, SizeTiny, vm.PageShift4K, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if w.Name != n {
+			t.Errorf("%s: name = %q", n, w.Name)
+		}
+		if w.AS.MappedBytes() == 0 {
+			t.Errorf("%s: no memory mapped", n)
+		}
+		if w.Check == nil {
+			t.Errorf("%s: no functional check", n)
+		}
+	}
+}
+
+func TestBuildLargePages(t *testing.T) {
+	w, err := Build("pointerchase", SizeTiny, vm.PageShift2M, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.AS.PageShift(); got != vm.PageShift2M {
+		t.Fatalf("page shift %d", got)
+	}
+}
+
+func TestBuildDeterministicAcrossSeeds(t *testing.T) {
+	a, err := Build("bfs", SizeTiny, vm.PageShift4K, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("bfs", SizeTiny, vm.PageShift4K, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Launch.Grid != b.Launch.Grid || a.Launch.Params != b.Launch.Params {
+		t.Fatal("same seed produced different launches")
+	}
+	c, err := Build("bfs", SizeTiny, vm.PageShift4K, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different seed should change at least the frontier level or graph.
+	if a.Launch.Params == c.Launch.Params {
+		t.Log("note: different seeds produced identical params (possible but unlikely)")
+	}
+}
+
+func TestScaleMonotonic(t *testing.T) {
+	small, err := Build("kmeans", SizeTiny, vm.PageShift4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Build("kmeans", SizeSmall, vm.PageShift4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.AS.MappedBytes() <= small.AS.MappedBytes() {
+		t.Fatalf("small scale (%d bytes) not above tiny (%d)", big.AS.MappedBytes(), small.AS.MappedBytes())
+	}
+	if big.Launch.Grid <= small.Launch.Grid {
+		t.Fatal("grid did not grow with scale")
+	}
+}

@@ -1,0 +1,120 @@
+# Assembles EXPERIMENTS.md from the harness output plus per-figure
+# paper-vs-measured verdicts. Usage:
+#   python3 tools/assemble_experiments.py experiments_small.out >> EXPERIMENTS.md
+import re
+import sys
+
+VERDICTS = {
+    "fig2": """**Verdict: shape reproduced.** Naive TLBs degrade every workload
+(0.18-0.81x; paper: 0.5-0.8x), with the ordering the paper implies —
+streaming workloads lose least, divergent gather workloads (mummergpu,
+memcached) lose most, overshooting the paper's band as DESIGN.md
+anticipates. CCWS and TBC without TLBs sit at or above 1.0x, and adding
+naive TLBs erases their advantage entirely (ccws+tlb tracks naive-tlb;
+tbc+tlb can fall *below* plain naive-tlb, the paper's figure 20 point
+that compaction amplifies TLB pain). Our CCWS gains without TLBs (0-1%)
+are smaller than the paper's 20%+ because the synthetic workloads carry
+less recoverable inter-warp cache locality.""",
+    "fig3": """**Verdict: reproduced.** Memory instructions are 14-18% of the mix
+(paper: under 25%). TLB miss rates span 14-58% (paper: 22-70%). Page
+divergence averages 3.3 for bfs and 6.7 for mummergpu (paper: above 4 and
+8) with maxima of 26-32 (paper: consistently high, up to the warp width);
+kmeans/streamcluster/pathfinder sit at ~1, as their coalesced accesses
+should.""",
+    "fig4": """**Verdict: partially reproduced.** For the divergent workloads TLB
+misses cost ~4.7x an L1 miss (paper: ~2x) — queueing on the per-core
+walker, the paper's own explanation, is stronger here. For coalesced
+workloads the ratio is 0.7-0.8x rather than ~2x: their isolated walks hit
+the warm shared L2 while their L1 misses frequently pay DRAM. The paper's
+qualitative point — misses whose walks serialise are multiplicatively
+more expensive — reproduces; the uniform 2x does not.""",
+    "fig6": """**Verdict: partially reproduced.** 64-entry TLBs are far worse than
+128 everywhere (reach dominates), and the port-count effect matches the
+paper precisely: only the high-divergence workloads (bfs, mummergpu) care
+about ports, and 3->4 ports recovers most of what is recoverable with
+diminishing returns beyond. Deviation: in our calibration larger TLBs keep
+paying because miss rates remain high at 128 entries, so the paper's
+128-entry optimum appears as diminishing returns rather than a reversal —
+our CACTI-style penalty (latency plus pipeline occupancy) does not
+outweigh the residual miss benefit.""",
+    "fig7": """**Verdict: reproduced.** Hits-under-miss recovers a large share of
+the blocking loss on every workload (e.g. kmeans 0.74->0.98,
+streamcluster 0.57->0.96, mummergpu 0.28->0.41); the ideal TLB bounds
+everything at ~1.0. Cache-overlap's incremental gain is within noise here
+(the paper reports up to +8%) because hits-under-miss already unblocks the
+dominant serialisation in our calibration.""",
+    "fig10": """**Verdict: reproduced — the paper's headline.** Adding PTW
+scheduling brings every workload to within 1-3% of the impractical
+512-entry/32-port ideal (paper: within ~1%), including mummergpu
+(0.40->0.99) and memcached (0.26->0.97). Walk-reference elimination is
+40-79% (paper: 10-20%) — our densely allocated synthetic address spaces
+share upper-level PTEs more than the paper's fragmented ones, as noted in
+EXPERIMENTS' reading guide.""",
+    "fig11": """**Verdict: reproduced.** The augmented single walker beats naive
+designs with 2, 4, and 8 walkers on all six workloads (paper: ~10% gap
+to 8 walkers). Extra naive walkers barely help the coalesced workloads
+(their pain is the blocking TLB, not walk throughput) and help the
+divergent ones only marginally — exactly why the paper prefers one
+smarter walker.""",
+    "fig13": """**Verdict: reproduced.** CCWS with naive TLBs collapses to the
+naive-TLB level (paper: far below CCWS without TLBs), and the augmented
+MMU restores CCWS to within 0.5-3% of its no-TLB performance. The
+residual gap the paper highlights is smaller here because our augmented
+design already sits near ideal (figure 10).""",
+    "fig16": """**Verdict: direction reproduced, magnitude muted.** Weighting
+TLB-carrying cache misses more heavily never hurts and nudges several
+workloads toward CCWS-without-TLBs; because our CCWS baseline gains are
+small, the 4:1 weighting's recovery is correspondingly small. The paper's
+ordering (heavier weights help the TLB-bound workloads most) holds.""",
+    "fig17": """**Verdict: direction reproduced.** TCWS tracks TA-CCWS within
+noise across the EPW sweep, achieving the same performance with
+page-granular VTAs (half the hardware, the paper's point). The paper's
+8-EPW sweet spot appears as a shallow optimum here.""",
+    "fig18": """**Verdict: direction reproduced.** LRU-depth-weighted score
+updates leave TCWS within a few percent of CCWS-without-TLBs on all
+workloads (paper: within 1-15%); the three weight schemes are nearly
+indistinguishable in our calibration, with LRU(1,2,4,8) never worse.""",
+    "fig20": """**Verdict: largely reproduced.** TBC without TLBs beats the
+baseline on all six workloads (up to 1.11x); adding naive TLBs destroys
+it (0.22-0.75x), costing 25-75% versus TBC-without-TLBs (paper: 20-25%)
+and erasing TBC's advantage over plain naive TLBs. Deviation: with the
+*augmented* MMU our TBC loses only 1-4% (paper: ~20%), because our
+augmented design already sits within a few percent of ideal (figure 10),
+leaving TBC little TLB pain to expose.""",
+    "fig22": """**Verdict: mechanism reproduced; headroom smaller.** TLB-aware
+TBC lands within 0-4% of TBC-without-TLBs on every workload (paper: 3-12%)
+and improves on TLB-agnostic TBC for the divergent workloads (memcached
+1.069 -> 1.105 at 2 bits). Because our augmented MMU leaves TBC little
+TLB pain (see fig20), the CPM's gain is a few percent rather than the
+paper's 15-20%; the mechanism itself — gating lowers compacted warps'
+page divergence while forming more warps — is verified directly by unit
+test (internal/gpu/tbc_test.go).""",
+    "figLP": """**Verdict: largely reproduced.** 2 MB pages collapse divergence
+to ~1 and cut miss rates to 0.5-2.6% everywhere, bringing overheads to
+within ~3% of the no-TLB baseline. The two workloads the paper singles
+out as retaining divergence are the same two that retain the most here
+(memcached 1.37, mummergpu 1.16) — though far below the paper's 6 and 3,
+because our scaled footprints span fewer 2 MB pages per warp than the
+authors' 12 MB-reach access patterns.""",
+    "figEXT": """**Verdict (no paper reference - extensions).** A 64-entry page
+walk cache and a 4096-entry shared L2 TLB each buy a further slice of the
+remaining overhead on walk-heavy workloads; software-managed walks are
+uniformly disastrous, confirming the paper's section 6.1 rejection.""",
+}
+
+text = open(sys.argv[1]).read()
+# Drop verbose per-run lines.
+text = re.sub(r"(?m)^# ran .*\n", "", text)
+# Insert verdicts after each figure's table (before the next ## or EOF).
+parts = re.split(r"(?m)^## ", text)
+out = []
+for part in parts:
+    if not part.strip():
+        continue
+    fig_id = part.split(" ", 1)[0].strip()
+    verdict = VERDICTS.get(fig_id, "")
+    body = "## " + part.rstrip() + "\n"
+    if verdict:
+        body += "\n" + verdict + "\n"
+    out.append(body)
+print("\n".join(out))
