@@ -434,6 +434,42 @@ func BenchmarkExperimentHarness(b *testing.B) {
 	}
 }
 
+// BenchmarkExecutorWorkers measures the plan/execute pipeline's scaling:
+// the same deduped figure-2 matrix executed serially and on a GOMAXPROCS
+// worker pool. The runs-per-second metrics expose the parallel speedup on
+// the host; sub-benchmark names carry the worker count.
+func BenchmarkExecutorWorkers(b *testing.B) {
+	for _, workers := range []int{1, 0} { // 0 = GOMAXPROCS
+		name := fmt.Sprintf("j%d", workers)
+		if workers == 0 {
+			name = "jmax"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				h := experiments.New(discard{}, experiments.Options{
+					Size:     workloads.SizeTiny,
+					Seed:     1,
+					Workload: benchWorkloads,
+					Workers:  workers,
+				})
+				fig2, err := experiments.ByID("fig2")
+				if err != nil {
+					b.Fatal(err)
+				}
+				plan := h.PlanFigures([]experiments.Figure{fig2})
+				ran := h.Execute(plan)
+				if ran != plan.Len() {
+					b.Fatalf("executed %d of %d runs", ran, plan.Len())
+				}
+				if _, err := fig2.Run(h); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(ran), "sims")
+			}
+		})
+	}
+}
+
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }

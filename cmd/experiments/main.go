@@ -2,20 +2,30 @@
 //
 // Usage:
 //
-//	experiments -fig all  -size small          # everything (slow)
+//	experiments -fig all  -size small          # everything
 //	experiments -fig 2    -size medium         # one figure
+//	experiments -fig 2,4,13                    # a subset, one report
 //	experiments -fig 3 -workloads bfs,mummergpu
+//	experiments -fig all -j 8 -v               # 8 workers, progress on stderr
 //	experiments -list
 //
 // Output is a markdown-ish report: one table per figure, shaped like the
 // paper's plots (rows = workloads, columns = configurations, values =
 // speedup over the no-TLB baseline unless stated otherwise).
+//
+// The run matrix of every requested figure is planned up front, deduped,
+// and executed on -j parallel workers (default: GOMAXPROCS); tables are
+// rendered afterwards from the completed results, so the report bytes are
+// identical for any -j. A spec that fails (e.g. a simulated deadlock) is
+// reported on stderr with its workload and configuration and fails only
+// the figures that need it; the rest of the report still renders.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"gpummu/internal/config"
@@ -25,12 +35,13 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "figure id (2,3,4,6,7,10,11,13,16,17,18,20,22,LP,EXT) or 'all'")
+		fig      = flag.String("fig", "all", "figure id (2,3,4,6,7,10,11,13,16,17,18,20,22,LP,EXT), a comma list, or 'all'")
 		size     = flag.String("size", "small", "dataset scale: tiny|small|medium|large")
 		seed     = flag.Uint64("seed", 1, "workload generation seed")
 		wl       = flag.String("workloads", "", "comma-separated workload subset (default: paper's six)")
 		list     = flag.Bool("list", false, "list figures and exit")
-		verbose  = flag.Bool("v", false, "log every simulation run")
+		verbose  = flag.Bool("v", false, "log every simulation run to stderr")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		machine  = flag.String("machine", "baseline", "machine preset: baseline|small")
 		coresOvr = flag.Int("cores", 0, "override shader core count (0 = preset)")
 	)
@@ -72,6 +83,7 @@ func main() {
 		Size:    sz,
 		Seed:    *seed,
 		Machine: machineFn,
+		Workers: *workers,
 		Verbose: *verbose,
 	}
 	if *wl != "" {
@@ -79,26 +91,29 @@ func main() {
 	}
 	h := experiments.New(os.Stdout, opt)
 
+	var figs []experiments.Figure
 	if *fig == "all" {
-		if err := experiments.RunAll(h); err != nil {
-			fatal("%v", err)
+		figs = experiments.All()
+	} else {
+		for _, id := range strings.Split(*fig, ",") {
+			id = strings.TrimSpace(id)
+			if !strings.HasPrefix(id, "fig") {
+				id = "fig" + id
+			}
+			f, err := experiments.ByID(id)
+			if err != nil {
+				fatal("%v", err)
+			}
+			figs = append(figs, f)
 		}
-		return
 	}
-	id := *fig
-	if !strings.HasPrefix(id, "fig") {
-		id = "fig" + id
+
+	// RunFigures keeps going past failed specs: broken runs are logged by
+	// the executor and surface here after the full report has rendered.
+	if err := experiments.RunFigures(h, figs); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: some figures failed:\n%v\n", err)
+		os.Exit(1)
 	}
-	f, err := experiments.ByID(id)
-	if err != nil {
-		fatal("%v", err)
-	}
-	fmt.Printf("\n## %s — %s\n\nPaper: %s\n\n", f.ID, f.Title, f.Paper)
-	body, err := f.Run(h)
-	if err != nil {
-		fatal("%v", err)
-	}
-	fmt.Println(body)
 }
 
 func fatal(format string, args ...interface{}) {

@@ -1,5 +1,5 @@
-// Command gpusim runs one workload under one MMU/scheduler configuration
-// and prints the full statistics — the quickest way to poke at the design
+// Command gpusim runs workloads under one MMU/scheduler configuration and
+// prints the full statistics — the quickest way to poke at the design
 // space.
 //
 // Usage:
@@ -7,12 +7,24 @@
 //	gpusim -workload bfs -size small -mmu augmented
 //	gpusim -workload mummergpu -mmu naive -ports 3 -sched ccws
 //	gpusim -workload memcached -mmu ideal -tbc tlb-aware -pages 2m
+//	gpusim -workload all -j 8 -mmu augmented   # every workload, in parallel
+//	gpusim -workload bfs,kmeans -json          # machine-readable array
+//
+// -workload accepts a single name, a comma-separated list, or "all"; with
+// more than one workload the simulations run on -j parallel goroutines
+// (each with its own address space and GPU) and the reports print in
+// workload order, so the output is identical for any -j.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
 
 	"gpummu/internal/config"
 	"gpummu/internal/gpu"
@@ -24,7 +36,7 @@ import (
 
 func main() {
 	var (
-		workload = flag.String("workload", "bfs", "workload name (see -list)")
+		workload = flag.String("workload", "bfs", "workload name, comma list, or 'all' (see -list)")
 		size     = flag.String("size", "small", "tiny|small|medium|large")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		mmu      = flag.String("mmu", "none", "none|naive|nonblocking|augmented|ideal")
@@ -38,9 +50,11 @@ func main() {
 		software = flag.Bool("software-walks", false, "service misses with OS handlers (extension)")
 		pwc      = flag.Int("pwc", 0, "page walk cache entries per core (0 = off; extension)")
 		cores    = flag.Int("cores", 0, "override core count (0 = 30)")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers when running several workloads")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		asJSON   = flag.Bool("json", false, "emit statistics as JSON")
-		trace    = flag.Int("trace", 0, "dump the last N simulation events to stderr")
+		trace    = flag.Int("trace", 0, "dump the last N simulation events to stderr (single workload only)")
+		progress = flag.Bool("v", false, "log per-run completion to stderr")
 	)
 	flag.Parse()
 
@@ -129,86 +143,181 @@ func main() {
 		fatal("unknown -size %q", *size)
 	}
 
-	w, err := workloads.Build(*workload, sz, cfg.PageShift, *seed)
-	if err != nil {
-		fatal("%v", err)
-	}
-	st := &stats.Sim{}
-	g, err := gpu.New(cfg, w.AS, st)
-	if err != nil {
-		fatal("%v", err)
-	}
-	var ring *gpu.RingTracer
-	if *trace > 0 {
-		ring = gpu.NewRingTracer(*trace)
-		g.SetTracer(ring)
-	}
-	cycles, err := g.Run(w.Launch)
-	if err != nil {
-		fatal("%v", err)
-	}
-	if w.Check != nil {
-		if err := w.Check(); err != nil {
-			fatal("functional check: %v", err)
+	var names []string
+	if *workload == "all" {
+		names = workloads.Names()
+	} else {
+		for _, n := range strings.Split(*workload, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
 		}
 	}
-	if *asJSON {
-		out := map[string]interface{}{
-			"workload":      *workload,
-			"size":          *size,
-			"cycles":        cycles,
-			"instructions":  st.Instructions.Value(),
-			"memFraction":   st.MemFraction(),
-			"idleFraction":  st.IdleFraction(),
-			"tlbAccesses":   st.TLBAccesses.Value(),
-			"tlbMissRate":   st.TLBMissRate(),
-			"tlbMissLat":    st.TLBMissLat.Mean(),
-			"l1MissRate":    st.L1MissRate(),
-			"l1MissLat":     st.L1MissLat.Mean(),
-			"l2MissRate":    st.L2MissRate(),
-			"pageDivAvg":    st.PageDivergence.Mean(),
-			"pageDivMax":    st.PageDivergence.Max(),
-			"walks":         st.Walks.Value(),
-			"walkRefs":      st.WalkRefs.Value(),
-			"walkRefsElim":  st.WalkRefsEliminated(),
-			"pwcHits":       st.PWCHits.Value(),
-			"sharedTLBHits": st.SharedTLBHits.Value(),
-			"compacted":     st.CompactedWarps.Value(),
-			"simdUtil":      st.SIMDUtilisation(cfg.WarpWidth),
-		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fatal("%v", err)
-		}
-		return
+	if len(names) == 0 {
+		fatal("no workloads given")
 	}
-	fmt.Println("functional check: ok")
+	if *trace > 0 && len(names) > 1 {
+		fatal("-trace needs a single workload")
+	}
+
+	type outcome struct {
+		text string // rendered report (or JSON object)
+		err  error
+	}
+	results := make([]outcome, len(names))
+
+	run := func(i int) outcome {
+		name := names[i]
+		start := time.Now()
+		w, err := workloads.Build(name, sz, cfg.PageShift, *seed)
+		if err != nil {
+			return outcome{err: err}
+		}
+		st := &stats.Sim{}
+		g, err := gpu.New(cfg, w.AS, st)
+		if err != nil {
+			return outcome{err: err}
+		}
+		var ring *gpu.RingTracer
+		if *trace > 0 {
+			ring = gpu.NewRingTracer(*trace)
+			g.SetTracer(ring)
+		}
+		cycles, err := g.Run(w.Launch)
+		if err != nil {
+			return outcome{err: fmt.Errorf("%s: %w", name, err)}
+		}
+		if w.Check != nil {
+			if err := w.Check(); err != nil {
+				return outcome{err: fmt.Errorf("%s: functional check: %w", name, err)}
+			}
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "# ran %s in %v: %d cycles\n",
+				name, time.Since(start).Round(time.Millisecond), cycles)
+		}
+		var b strings.Builder
+		if *asJSON {
+			if err := writeJSON(&b, name, *size, cycles, st, cfg); err != nil {
+				return outcome{err: err}
+			}
+		} else {
+			writeText(&b, name, *size, cycles, st, cfg, w)
+		}
+		if ring != nil {
+			fmt.Fprintf(os.Stderr, "--- last %d of %d events ---\n", len(ring.Events()), ring.Total())
+			if err := ring.Dump(os.Stderr); err != nil {
+				return outcome{err: err}
+			}
+		}
+		return outcome{text: b.String()}
+	}
+
+	// Fan the runs across -j workers; each builds its own workload and GPU
+	// so nothing is shared. Reports print in workload order afterwards.
+	nw := *workers
+	if nw < 1 {
+		nw = 1
+	}
+	if nw > len(names) {
+		nw = len(names)
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < nw; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = run(i)
+			}
+		}()
+	}
+	for i := range names {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	failed := false
+	if *asJSON && len(names) > 1 {
+		fmt.Println("[")
+	}
+	for i, res := range results {
+		if res.err != nil {
+			fmt.Fprintf(os.Stderr, "gpusim: %v\n", res.err)
+			failed = true
+			continue
+		}
+		text := res.text
+		if *asJSON && len(names) > 1 {
+			text = strings.TrimRight(text, "\n")
+			if i < len(results)-1 {
+				text += ","
+			}
+		}
+		fmt.Println(strings.TrimRight(text, "\n"))
+	}
+	if *asJSON && len(names) > 1 {
+		fmt.Println("]")
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// writeText renders the classic human-readable per-run report.
+func writeText(out io.Writer, name, size string, cycles uint64, st *stats.Sim, cfg config.Hardware, w *workloads.Workload) {
+	fmt.Fprintln(out, "functional check: ok")
 	inv := w.AS.PT.Inventory()
-	fmt.Printf("workload=%s size=%s cycles=%d\n", *workload, *size, cycles)
-	fmt.Printf("vm: mapped=%dMB pagetables=%dKB (%d pages) simd-util=%.1f%%\n",
+	fmt.Fprintf(out, "workload=%s size=%s cycles=%d\n", name, size, cycles)
+	fmt.Fprintf(out, "vm: mapped=%dMB pagetables=%dKB (%d pages) simd-util=%.1f%%\n",
 		inv.MappedBytes()>>20, inv.TableBytes()>>10, inv.TotalTablePages(),
 		100*st.SIMDUtilisation(cfg.WarpWidth))
-	fmt.Print(st.String())
-	fmt.Printf("l1: hits=%d misses=%d (%.1f%%)  l2: hits=%d misses=%d (%.1f%%)\n",
+	fmt.Fprint(out, st.String())
+	fmt.Fprintf(out, "l1: hits=%d misses=%d (%.1f%%)  l2: hits=%d misses=%d (%.1f%%)\n",
 		st.L1Hits, st.L1Misses, 100*st.L1MissRate(), st.L2Hits, st.L2Misses, 100*st.L2MissRate())
 	if cfg.MMU.Enabled {
-		fmt.Printf("tlb: hits=%d misses=%d hitsundermiss=%d walklat=%.0f\n",
+		fmt.Fprintf(out, "tlb: hits=%d misses=%d hitsundermiss=%d walklat=%.0f\n",
 			st.TLBHits, st.TLBMisses, st.TLBHitUnder, st.WalkLat.Mean())
 		if st.SharedTLBAccesses > 0 {
-			fmt.Printf("shared-tlb: acc=%d hits=%d misses=%d\n",
+			fmt.Fprintf(out, "shared-tlb: acc=%d hits=%d misses=%d\n",
 				st.SharedTLBAccesses, st.SharedTLBHits, st.SharedTLBMisses)
 		}
 	}
 	if cfg.TBC.Mode != config.DivStack {
-		fmt.Printf("tbc: compacted=%d cpm-rejects=%d\n", st.CompactedWarps, st.CPMRejects)
+		fmt.Fprintf(out, "tbc: compacted=%d cpm-rejects=%d\n", st.CompactedWarps, st.CPMRejects)
 	}
-	if ring != nil {
-		fmt.Fprintf(os.Stderr, "--- last %d of %d events ---\n", len(ring.Events()), ring.Total())
-		if err := ring.Dump(os.Stderr); err != nil {
-			fatal("%v", err)
-		}
+}
+
+// writeJSON renders one run as an indented JSON object.
+func writeJSON(out io.Writer, name, size string, cycles uint64, st *stats.Sim, cfg config.Hardware) error {
+	obj := map[string]interface{}{
+		"workload":      name,
+		"size":          size,
+		"cycles":        cycles,
+		"instructions":  st.Instructions.Value(),
+		"memFraction":   st.MemFraction(),
+		"idleFraction":  st.IdleFraction(),
+		"tlbAccesses":   st.TLBAccesses.Value(),
+		"tlbMissRate":   st.TLBMissRate(),
+		"tlbMissLat":    st.TLBMissLat.Mean(),
+		"l1MissRate":    st.L1MissRate(),
+		"l1MissLat":     st.L1MissLat.Mean(),
+		"l2MissRate":    st.L2MissRate(),
+		"pageDivAvg":    st.PageDivergence.Mean(),
+		"pageDivMax":    st.PageDivergence.Max(),
+		"walks":         st.Walks.Value(),
+		"walkRefs":      st.WalkRefs.Value(),
+		"walkRefsElim":  st.WalkRefsEliminated(),
+		"pwcHits":       st.PWCHits.Value(),
+		"sharedTLBHits": st.SharedTLBHits.Value(),
+		"compacted":     st.CompactedWarps.Value(),
+		"simdUtil":      st.SIMDUtilisation(cfg.WarpWidth),
 	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(obj)
 }
 
 func fatal(format string, args ...interface{}) {

@@ -3,7 +3,10 @@
 // no dependencies so every subsystem can import it.
 package config
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // SchedulerPolicy selects the warp scheduler.
 type SchedulerPolicy uint8
@@ -168,6 +171,19 @@ func (m MMU) AccessPenalty() int {
 	}
 }
 
+// Key returns a canonical string covering every MMU field. Two MMU values
+// have equal keys if and only if they are semantically identical; the
+// experiment executor dedupes runs by it, so it must never alias distinct
+// configurations. Keep in sync with the struct (TestHardwareKeyCoversEveryField
+// fails if a field is added but not folded in here).
+func (m MMU) Key() string {
+	return fmt.Sprintf("mmu:on=%t,e=%d,a=%d,p=%d,ideal=%t,hum=%t,ovl=%t,ptws=%t,nptw=%d,mshr=%d,stlb=%d,stlblat=%d,pwc=%d,sw=%t,swov=%d,wc=%d",
+		m.Enabled, m.Entries, m.Assoc, m.Ports, m.IdealLatency,
+		m.HitsUnderMiss, m.CacheOverlap, m.PTWSched, m.NumPTWs, m.MSHRs,
+		m.SharedTLBEntries, m.SharedTLBLatency, m.PWCEntries,
+		m.SoftwareWalks, m.SoftwareWalkOverhead, m.WalkConcurrency)
+}
+
 // Scheduler configures warp scheduling and the CCWS family.
 type Scheduler struct {
 	Policy SchedulerPolicy
@@ -196,6 +212,23 @@ type Scheduler struct {
 	LRUDepthWeights []int
 }
 
+// Key returns a canonical string covering every Scheduler field (see
+// MMU.Key for the contract).
+func (s Scheduler) Key() string {
+	var w strings.Builder
+	fmt.Fprintf(&w, "sched:pol=%d,vta=%d,vtaa=%d,lls=%d,pool=%d,decay=%d,tlbw=%d,lru=[",
+		s.Policy, s.VTAEntriesPerWarp, s.VTAAssoc, s.LLSCutoff,
+		s.ActivePool, s.DecayPeriod, s.TLBMissWeight)
+	for i, d := range s.LRUDepthWeights {
+		if i > 0 {
+			w.WriteByte(' ')
+		}
+		fmt.Fprintf(&w, "%d", d)
+	}
+	w.WriteByte(']')
+	return w.String()
+}
+
 // TBC configures thread block compaction.
 type TBC struct {
 	Mode DivergenceMode
@@ -207,6 +240,13 @@ type TBC struct {
 	CPMFlushPeriod int
 	// CPMHistory is the per-TLB-entry warp history length (paper: 2).
 	CPMHistory int
+}
+
+// Key returns a canonical string covering every TBC field (see MMU.Key for
+// the contract).
+func (t TBC) Key() string {
+	return fmt.Sprintf("tbc:mode=%d,cpm=%d,flush=%d,hist=%d",
+		t.Mode, t.CPMBits, t.CPMFlushPeriod, t.CPMHistory)
 }
 
 // Hardware is the full machine configuration.
@@ -239,6 +279,22 @@ type Hardware struct {
 	MMU   MMU
 	Sched Scheduler
 	TBC   TBC
+}
+
+// Key returns a canonical identity string for the whole machine: every
+// field of Hardware and its sub-structs contributes, field by field, so two
+// configurations share a key exactly when they would simulate identically.
+// The experiment pipeline dedupes and caches runs by this key; unlike the
+// fmt %+v formatting it replaced, it cannot silently alias configs when
+// fields are added or reordered (a reflection test enumerates the struct
+// and fails if a new field does not change the key).
+func (h Hardware) Key() string {
+	return fmt.Sprintf("hw:cores=%d,wpc=%d,ww=%d,iw=%d,l1=%d/%d/%d/%d/%d,parts=%d,l2=%d/%d/%d,icnt=%d,dram=%d/%d,pshift=%d|%s|%s|%s",
+		h.NumCores, h.WarpsPerCore, h.WarpWidth, h.IssueWidth,
+		h.L1Bytes, h.L1LineSize, h.L1Assoc, h.L1Latency, h.L1MSHRs,
+		h.NumPartitions, h.L2BytesPerPart, h.L2Assoc, h.L2Latency,
+		h.ICNTLatency, h.DRAMLatency, h.DRAMBusy, h.PageShift,
+		h.MMU.Key(), h.Sched.Key(), h.TBC.Key())
 }
 
 // IssuePeriod returns the cycles one warp instruction occupies the issue

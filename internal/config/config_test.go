@@ -1,6 +1,8 @@
 package config
 
 import (
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -107,6 +109,121 @@ func TestStringers(t *testing.T) {
 		if strings.Contains(d.String(), "div(") {
 			t.Errorf("mode %d has no name", d)
 		}
+	}
+}
+
+// perturb mutates one field so it differs from its current value and
+// returns a short description of the change.
+func perturb(v reflect.Value) string {
+	switch v.Kind() {
+	case reflect.Bool:
+		v.SetBool(!v.Bool())
+		return "flipped"
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		v.SetInt(v.Int() + 1)
+		return "+1"
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		v.SetUint(v.Uint() + 1)
+		return "+1"
+	case reflect.Slice:
+		v.Set(reflect.Append(v, reflect.New(v.Type().Elem()).Elem()))
+		return "appended"
+	default:
+		return ""
+	}
+}
+
+// walkFields visits every leaf field of a struct value, recursing into
+// embedded struct fields, and calls fn with a dotted path.
+func walkFields(prefix string, v reflect.Value, fn func(path string, f reflect.Value)) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		f := v.Field(i)
+		path := prefix + t.Field(i).Name
+		if f.Kind() == reflect.Struct {
+			walkFields(path+".", f, fn)
+			continue
+		}
+		fn(path, f)
+	}
+}
+
+// TestHardwareKeyCoversEveryField perturbs every field of Hardware —
+// including every MMU, Scheduler, and TBC sub-field — one at a time and
+// requires the canonical key to change. This is the guard the old
+// fmt %+v cache key lacked: adding a field without folding it into Key()
+// fails here instead of silently aliasing distinct configurations.
+func TestHardwareKeyCoversEveryField(t *testing.T) {
+	base := Baseline()
+	baseKey := base.Key()
+	seen := map[string]string{baseKey: "baseline"}
+	n := 0
+	walkFields("", reflect.ValueOf(&base).Elem(), func(path string, f reflect.Value) {
+		n++
+		cfg := Baseline()
+		var fv reflect.Value
+		walkFields("", reflect.ValueOf(&cfg).Elem(), func(p string, v reflect.Value) {
+			if p == path {
+				fv = v
+			}
+		})
+		how := perturb(fv)
+		if how == "" {
+			t.Fatalf("field %s: unsupported kind %s — extend perturb", path, fv.Kind())
+		}
+		k := cfg.Key()
+		if k == baseKey {
+			t.Errorf("field %s (%s) does not affect Hardware.Key", path, how)
+		}
+		if prev, dup := seen[k]; dup {
+			t.Errorf("field %s aliases %s under Hardware.Key", path, prev)
+		}
+		seen[k] = path
+	})
+	if n < 30 {
+		t.Fatalf("walked only %d fields; reflection walk is broken", n)
+	}
+}
+
+// TestKeyDistinguishesPresets pins the concrete cases the experiment cache
+// relies on: MMU, scheduler, TBC, and cache-geometry changes must all
+// produce distinct keys.
+func TestKeyDistinguishesPresets(t *testing.T) {
+	mk := func(mut func(*Hardware)) string {
+		h := Baseline()
+		mut(&h)
+		return h.Key()
+	}
+	keys := map[string]string{}
+	for name, mut := range map[string]func(*Hardware){
+		"baseline":   func(h *Hardware) {},
+		"naive3":     func(h *Hardware) { h.MMU = NaiveMMU(3) },
+		"naive4":     func(h *Hardware) { h.MMU = NaiveMMU(4) },
+		"augmented":  func(h *Hardware) { h.MMU = AugmentedMMU() },
+		"ideal":      func(h *Hardware) { h.MMU = MMU{}.Ideal() },
+		"ccws":       func(h *Hardware) { h.Sched.Policy = SchedCCWS },
+		"tcws-lru":   func(h *Hardware) { h.Sched.Policy = SchedTCWS; h.Sched.LRUDepthWeights = []int{1, 2, 4, 8} },
+		"tbc":        func(h *Hardware) { h.TBC.Mode = DivTBC },
+		"tlbtbc1bit": func(h *Hardware) { h.TBC.Mode = DivTLBTBC; h.TBC.CPMBits = 1 },
+		"bigger-l1":  func(h *Hardware) { h.L1Bytes = 64 << 10 },
+		"2m-pages":   func(h *Hardware) { h.PageShift = 21 },
+	} {
+		k := mk(mut)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("%s and %s share key %q", name, prev, k)
+		}
+		keys[k] = name
+	}
+}
+
+// TestKeyIsPure ensures Key has no hidden state: same config, same string.
+func TestKeyIsPure(t *testing.T) {
+	a, b := Baseline(), Baseline()
+	if a.Key() != b.Key() {
+		t.Fatalf("equal configs disagree:\n%s\n%s", a.Key(), b.Key())
+	}
+	if fmt.Sprint(a.Key()) == "" {
+		t.Fatal("empty key")
 	}
 }
 

@@ -1,18 +1,20 @@
 // Package experiments regenerates every table and figure of the paper's
-// evaluation. Each FigureN function runs the required (workload, config)
-// matrix and renders rows shaped like the paper's plots; RunAll drives them
-// and collates an EXPERIMENTS.md-style report with the paper's expected
-// ranges alongside measured values.
+// evaluation through a three-phase plan → execute → render pipeline. Each
+// figure declares its (workload, config) run matrix as RunSpec values;
+// RunAll collects the specs of every requested figure, dedupes them by the
+// canonical config key, executes the unique runs on a parallel worker pool
+// (see runner.go), and only then renders the tables from the completed
+// results — so reports are byte-identical regardless of worker count.
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"os"
 	"sort"
-	"time"
 
 	"gpummu/internal/config"
-	"gpummu/internal/gpu"
 	"gpummu/internal/stats"
 	"gpummu/internal/workloads"
 )
@@ -23,7 +25,9 @@ type Options struct {
 	Seed     uint64
 	Machine  func() config.Hardware // base machine; default config.Baseline
 	Workload []string               // defaults to the paper's six
-	Verbose  bool
+	Workers  int                    // executor goroutines; <= 0 = GOMAXPROCS
+	Verbose  bool                   // log per-run progress to Progress
+	Progress io.Writer              // progress destination; default os.Stderr
 }
 
 func (o *Options) fill() {
@@ -36,62 +40,73 @@ func (o *Options) fill() {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Verbose && o.Progress == nil {
+		o.Progress = os.Stderr
+	}
+	if !o.Verbose {
+		o.Progress = nil
+	}
 }
 
-// Harness caches baseline runs so every figure shares normalisation.
+// Harness ties the three pipeline phases together: it plans figure
+// matrices, drives the executor, and serves completed results to the
+// renderers. All figures share one ResultStore so the no-TLB baseline
+// every speedup normalises against is simulated exactly once.
 type Harness struct {
-	opt   Options
-	out   io.Writer
-	cache map[string]*stats.Sim
+	opt  Options
+	out  io.Writer
+	exec *Executor
 }
 
 // New creates a harness writing its tables to out.
 func New(out io.Writer, opt Options) *Harness {
 	opt.fill()
-	return &Harness{opt: opt, out: out, cache: make(map[string]*stats.Sim)}
+	return &Harness{
+		opt: opt,
+		out: out,
+		exec: &Executor{
+			Workers:  opt.Workers,
+			Size:     opt.Size,
+			Seed:     opt.Seed,
+			Progress: opt.Progress,
+			Store:    NewResultStore(),
+		},
+	}
 }
 
-// key identifies a (workload, config) pair for caching.
-func key(w string, cfg config.Hardware) string {
-	return fmt.Sprintf("%s|%+v|%+v|%+v|%d|%d", w, cfg.MMU, cfg.Sched, cfg.TBC, cfg.PageShift, cfg.NumCores)
+// Store exposes the harness's result store (tests and tools).
+func (h *Harness) Store() *ResultStore { return h.exec.Store }
+
+// Spec builds the RunSpec for workload w under cfg with this harness's
+// size and seed baked into the executor.
+func (h *Harness) Spec(w string, cfg config.Hardware) RunSpec {
+	return RunSpec{Workload: w, Config: cfg}
 }
 
-// Run executes workload w under cfg (cached) and returns its statistics.
+// Run returns the statistics for workload w under cfg. If the executor
+// already completed the run, the stored result is served; otherwise the
+// simulation runs inline in the calling goroutine (the sequential fallback
+// that keeps single-figure and test paths working without a plan). The
+// returned Sim is a private clone: renderers can never mutate the shared
+// stored result. Run is safe for concurrent use.
 func (h *Harness) Run(w string, cfg config.Hardware) (*stats.Sim, error) {
-	k := key(w, cfg)
-	if st, ok := h.cache[k]; ok {
-		return st, nil
+	spec := h.Spec(w, cfg)
+	res, ok := h.exec.store().Get(spec)
+	if !ok {
+		h.exec.store().Put(ExecuteOne(spec, h.opt.Size, h.opt.Seed))
+		// Re-read so concurrent callers converge on the canonical
+		// first-published result.
+		res, _ = h.exec.store().Get(spec)
 	}
-	start := time.Now()
-	wl, err := workloads.Build(w, h.opt.Size, cfg.PageShift, h.opt.Seed)
-	if err != nil {
-		return nil, err
+	if res.Err != nil {
+		return nil, fmt.Errorf("%s: %w", spec, res.Err)
 	}
-	st := &stats.Sim{}
-	g, err := gpu.New(cfg, wl.AS, st)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := g.Run(wl.Launch); err != nil {
-		return nil, fmt.Errorf("%s: %w", w, err)
-	}
-	if wl.Check != nil {
-		if err := wl.Check(); err != nil {
-			return nil, fmt.Errorf("%s: %w", w, err)
-		}
-	}
-	if h.opt.Verbose {
-		fmt.Fprintf(h.out, "# ran %s [%s] in %v: %d cycles\n", w, describe(cfg), time.Since(start).Round(time.Millisecond), st.Cycles)
-	}
-	h.cache[k] = st
-	return st, nil
+	return res.Stats.Clone(), nil
 }
 
 // baseline returns the no-TLB run for w with the harness machine.
 func (h *Harness) baseline(w string) (*stats.Sim, error) {
-	cfg := h.opt.Machine()
-	cfg.MMU = config.MMU{Enabled: false}
-	return h.Run(w, cfg)
+	return h.Run(w, h.cfgNoTLB())
 }
 
 // speedup computes st's speedup over the no-TLB baseline for w.
@@ -142,33 +157,21 @@ func describe(cfg config.Hardware) string {
 	return s
 }
 
-// Figure describes one reproducible experiment.
+// Figure describes one reproducible experiment: the run matrix it needs
+// (Plan) and a renderer that formats completed results (Run).
 type Figure struct {
 	ID    string
 	Title string
 	Paper string // the paper's qualitative claim, for EXPERIMENTS.md
-	Run   func(h *Harness) (string, error)
-}
 
-// All returns every figure reproduction, in paper order.
-func All() []Figure {
-	return []Figure{
-		{"fig2", "Naive TLBs under LRR, CCWS and TBC", "naive 128e/3p TLBs degrade performance in every case; 30-50% below CCWS/TBC without TLBs", Figure2},
-		{"fig3", "Workload characterisation", "mem instrs <25% of total; TLB miss rates 22-70%; page divergence avg >4 (bfs) and >8 (mummer), max consistently high", Figure3},
-		{"fig4", "TLB vs L1 miss latency", "TLB misses cost about twice an L1 miss", Figure4},
-		{"fig6", "TLB size and port sweep", "128 entries best once real access latencies included; 3->4 ports recovers most port-starved loss", Figure6},
-		{"fig7", "Non-blocking TLBs", "hits-under-miss helps; overlapping cache access helps more (e.g. +8% streamcluster)", Figure7},
-		{"fig10", "PTW scheduling", "within ~1% of the impractical ideal TLB; walk refs cut 10-20%; walk cache hit rate up 5-8%", Figure10},
-		{"fig11", "Augmented 1 PTW vs naive multi-PTW", "augmented single walker outperforms 8 naive walkers by ~10%", Figure11},
-		{"fig13", "CCWS with TLBs", "CCWS+naive TLBs far below CCWS without TLBs; augmented MMU narrows but does not close the gap", Figure13},
-		{"fig16", "TA-CCWS weight sweep", "weighting TLB misses 4x cache misses recovers most CCWS loss on 4 of 6 workloads", Figure16},
-		{"fig17", "TCWS entries-per-warp sweep", "8 entries per warp VTA performs best, beating TA-CCWS with half the hardware", Figure17},
-		{"fig18", "TCWS LRU-depth weights", "LRU(1,2,4,8) best; within 1-15% of CCWS-without-TLBs", Figure18},
-		{"fig20", "TBC with TLBs", "TBC+TLBs loses ~20% vs TBC without TLBs; augmented TLBs alone beat TBC+augmented TLBs", Figure20},
-		{"fig22", "TLB-aware TBC CPM bits", "even 1-bit CPM counters help; 3 bits land within 3-12% of TBC without TLBs", Figure22},
-		{"figLP", "2MB large pages", "large pages collapse page divergence except bfs/mummer, which keep divergence ~3 and ~6", FigureLargePages},
-		{"figEXT", "Extensions beyond the paper", "no paper reference — page walk cache, shared L2 TLB, and software-managed walks vs the augmented MMU", FigureExtensions},
-	}
+	// Plan declares every (workload, config) run the renderer will read.
+	// It must not simulate anything.
+	Plan func(h *Harness) []RunSpec
+
+	// Run renders the figure's table. When the harness has executed the
+	// figure's plan the renderer only reads completed results; specs it
+	// asks for beyond its plan fall back to inline execution.
+	Run func(h *Harness) (string, error)
 }
 
 // ByID returns the figure with the given ID.
@@ -186,15 +189,49 @@ func ByID(id string) (Figure, error) {
 	return Figure{}, fmt.Errorf("experiments: unknown figure %q (have %v)", id, ids)
 }
 
-// RunAll executes every figure and writes a combined report.
-func RunAll(h *Harness) error {
-	for _, f := range All() {
+// PlanFigures collects and dedupes the run matrices of the given figures,
+// in figure order (phase 1 of the pipeline).
+func (h *Harness) PlanFigures(figs []Figure) *Plan {
+	p := NewPlan()
+	for _, f := range figs {
+		if f.Plan != nil {
+			p.Add(f.Plan(h)...)
+		}
+	}
+	return p
+}
+
+// Execute runs the plan's outstanding specs on the worker pool (phase 2)
+// and returns how many simulations ran. Failures are recorded in the
+// store, surfacing later as render errors for the figures that need them.
+func (h *Harness) Execute(p *Plan) int { return h.exec.Execute(p) }
+
+// RunFigures executes the full pipeline for the given figures: plan,
+// execute in parallel, then render each figure into the report in order.
+// A figure whose runs failed renders an error note and the remaining
+// figures still run; the joined failures are returned after the whole
+// report is written.
+func RunFigures(h *Harness, figs []Figure) error {
+	plan := h.PlanFigures(figs)
+	if h.opt.Progress != nil {
+		fmt.Fprintf(h.opt.Progress, "# plan: %d unique runs across %d figures (workers=%d)\n",
+			plan.Len(), len(figs), h.exec.workers())
+	}
+	h.Execute(plan)
+
+	var failures []error
+	for _, f := range figs {
 		fmt.Fprintf(h.out, "\n## %s — %s\n\nPaper: %s\n\n", f.ID, f.Title, f.Paper)
 		body, err := f.Run(h)
 		if err != nil {
-			return fmt.Errorf("%s: %w", f.ID, err)
+			failures = append(failures, fmt.Errorf("%s: %w", f.ID, err))
+			fmt.Fprintf(h.out, "ERROR: %v\n", err)
+			continue
 		}
 		fmt.Fprintln(h.out, body)
 	}
-	return nil
+	return errors.Join(failures...)
 }
+
+// RunAll executes every figure and writes a combined report.
+func RunAll(h *Harness) error { return RunFigures(h, All()) }

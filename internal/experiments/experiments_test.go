@@ -33,7 +33,7 @@ func TestFigureIndexComplete(t *testing.T) {
 		if figs[i].ID != id {
 			t.Errorf("figure %d = %s, want %s", i, figs[i].ID, id)
 		}
-		if figs[i].Paper == "" || figs[i].Title == "" || figs[i].Run == nil {
+		if figs[i].Paper == "" || figs[i].Title == "" || figs[i].Run == nil || figs[i].Plan == nil {
 			t.Errorf("figure %s incomplete", figs[i].ID)
 		}
 	}
@@ -59,8 +59,25 @@ func TestHarnessCachesRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a != b {
-		t.Fatal("identical run not cached")
+	if h.Store().Len() != 1 {
+		t.Fatalf("identical run simulated twice: %d stored results", h.Store().Len())
+	}
+	if a.Cycles != b.Cycles || a.Instructions != b.Instructions {
+		t.Fatal("cached run returned different statistics")
+	}
+	// Runs hand out private clones, so a renderer mutating its copy can
+	// never corrupt the shared stored result.
+	if a == b {
+		t.Fatal("Run returned a shared pointer, not a clone")
+	}
+	a.Cycles = 0
+	a.PageDivergence.Observe(31)
+	c, err := h.Run("kmeans", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != b.Cycles || c.PageDivergence.Count() != b.PageDivergence.Count() {
+		t.Fatal("mutating a returned Sim corrupted the stored result")
 	}
 }
 
@@ -113,8 +130,15 @@ func TestRunAllTiny(t *testing.T) {
 		t.Skip("full harness pass is slow")
 	}
 	h, buf := tinyHarness("bfs")
+	plan := h.PlanFigures(All())
 	if err := RunAll(h); err != nil {
 		t.Fatal(err)
+	}
+	// Every run a renderer read must have been declared in its plan: an
+	// inline fallback during rendering would grow the store past the plan.
+	if h.Store().Len() != plan.Len() {
+		t.Errorf("renderers executed %d runs beyond the %d planned — a figure's Plan is incomplete",
+			h.Store().Len()-plan.Len(), plan.Len())
 	}
 	out := buf.String()
 	for _, f := range All() {

@@ -21,42 +21,46 @@ func (h *Harness) cfgWith(m config.MMU) config.Hardware {
 	return cfg
 }
 
-// Figure2 reproduces the motivation figure: naive 128-entry 3-port TLBs
-// under plain LRR, CCWS, and TBC, all normalised to the no-TLB LRR
-// baseline.
-func Figure2(h *Harness) (string, error) {
-	tbl := stats.NewTable("workload", "naive-tlb", "ccws-no-tlb", "ccws+tlb", "tbc-no-tlb", "tbc+tlb")
+// variant is one column of a speedup table: a header and the hardware
+// configuration that produces it. Declaring a figure as a variant list
+// gives both pipeline phases for free: the planner turns it into RunSpecs
+// and the renderer into a table, so the matrix is stated exactly once.
+type variant struct {
+	col string
+	cfg config.Hardware
+}
+
+// variantSpecs declares the runs a variant table needs: for every
+// workload, each variant's configuration, plus (when normalise is set)
+// the no-TLB baseline every speedup divides by.
+func variantSpecs(h *Harness, vs []variant, normalise bool) []RunSpec {
+	var specs []RunSpec
 	for _, w := range h.opt.Workload {
-		naive, err := h.Run(w, h.cfgWith(config.NaiveMMU(3)))
-		if err != nil {
-			return "", err
+		if normalise {
+			specs = append(specs, h.Spec(w, h.cfgNoTLB()))
 		}
-		ccwsBase := h.cfgNoTLB()
-		ccwsBase.Sched.Policy = config.SchedCCWS
-		cb, err := h.Run(w, ccwsBase)
-		if err != nil {
-			return "", err
+		for _, v := range vs {
+			specs = append(specs, h.Spec(w, v.cfg))
 		}
-		ccwsTLB := h.cfgWith(config.NaiveMMU(3))
-		ccwsTLB.Sched.Policy = config.SchedCCWS
-		ct, err := h.Run(w, ccwsTLB)
-		if err != nil {
-			return "", err
-		}
-		tbcBase := h.cfgNoTLB()
-		tbcBase.TBC.Mode = config.DivTBC
-		tb, err := h.Run(w, tbcBase)
-		if err != nil {
-			return "", err
-		}
-		tbcTLB := h.cfgWith(config.NaiveMMU(3))
-		tbcTLB.TBC.Mode = config.DivTBC
-		tt, err := h.Run(w, tbcTLB)
-		if err != nil {
-			return "", err
-		}
+	}
+	return specs
+}
+
+// speedupTable renders one row per workload and one column per variant,
+// each cell the variant's speedup over the no-TLB baseline.
+func speedupTable(h *Harness, vs []variant) (string, error) {
+	cols := []string{"workload"}
+	for _, v := range vs {
+		cols = append(cols, v.col)
+	}
+	tbl := stats.NewTable(cols...)
+	for _, w := range h.opt.Workload {
 		row := []interface{}{w}
-		for _, st := range []*stats.Sim{naive, cb, ct, tb, tt} {
+		for _, v := range vs {
+			st, err := h.Run(w, v.cfg)
+			if err != nil {
+				return "", err
+			}
 			s, err := h.speedup(w, st)
 			if err != nil {
 				return "", err
@@ -66,6 +70,43 @@ func Figure2(h *Harness) (string, error) {
 		tbl.AddRow(row...)
 	}
 	return tbl.String(), nil
+}
+
+// variantFigure wires a variant list into a Figure's Plan and Run phases.
+func variantFigure(id, title, paper string, vs func(h *Harness) []variant) Figure {
+	return Figure{
+		ID: id, Title: title, Paper: paper,
+		Plan: func(h *Harness) []RunSpec { return variantSpecs(h, vs(h), true) },
+		Run:  func(h *Harness) (string, error) { return speedupTable(h, vs(h)) },
+	}
+}
+
+// fig2Variants: naive 128-entry 3-port TLBs under plain LRR, CCWS, and
+// TBC, all normalised to the no-TLB LRR baseline (the motivation figure).
+func fig2Variants(h *Harness) []variant {
+	ccwsBase := h.cfgNoTLB()
+	ccwsBase.Sched.Policy = config.SchedCCWS
+	ccwsTLB := h.cfgWith(config.NaiveMMU(3))
+	ccwsTLB.Sched.Policy = config.SchedCCWS
+	tbcBase := h.cfgNoTLB()
+	tbcBase.TBC.Mode = config.DivTBC
+	tbcTLB := h.cfgWith(config.NaiveMMU(3))
+	tbcTLB.TBC.Mode = config.DivTBC
+	return []variant{
+		{"naive-tlb", h.cfgWith(config.NaiveMMU(3))},
+		{"ccws-no-tlb", ccwsBase},
+		{"ccws+tlb", ccwsTLB},
+		{"tbc-no-tlb", tbcBase},
+		{"tbc+tlb", tbcTLB},
+	}
+}
+
+// Figure2 reproduces the motivation figure.
+func Figure2(h *Harness) (string, error) { return speedupTable(h, fig2Variants(h)) }
+
+// fig3Specs: the characterisation needs only the naive 3-port TLB run.
+func fig3Specs(h *Harness) []RunSpec {
+	return variantSpecs(h, []variant{{"naive", h.cfgWith(config.NaiveMMU(3))}}, false)
 }
 
 // Figure3 reproduces the characterisation: memory instruction fraction,
@@ -102,25 +143,42 @@ func Figure4(h *Harness) (string, error) {
 	return tbl.String(), nil
 }
 
+// fig6Matrix enumerates the size/port sweep's configurations.
+var fig6Sizes = []int{64, 128, 256, 512}
+var fig6Ports = []int{3, 4, 8, 16, 32}
+
+func fig6Cfg(h *Harness, entries, ports int) config.Hardware {
+	m := config.NaiveMMU(ports)
+	m.Entries = entries
+	return h.cfgWith(m)
+}
+
+func fig6Specs(h *Harness) []RunSpec {
+	var specs []RunSpec
+	for _, w := range h.opt.Workload {
+		specs = append(specs, h.Spec(w, h.cfgNoTLB()))
+		for _, p := range fig6Ports {
+			for _, z := range fig6Sizes {
+				specs = append(specs, h.Spec(w, fig6Cfg(h, z, p)))
+			}
+		}
+	}
+	return specs
+}
+
 // Figure6 sweeps TLB sizes (with realistic access-latency penalties) and
 // port counts, reporting speedup vs the no-TLB baseline.
 func Figure6(h *Harness) (string, error) {
-	sizes := []int{64, 128, 256, 512}
-	ports := []int{3, 4, 8, 16, 32}
-	tbl := stats.NewTable(append([]string{"workload", "ports"}, func() []string {
-		var s []string
-		for _, z := range sizes {
-			s = append(s, fmt.Sprintf("%de", z))
-		}
-		return s
-	}()...)...)
+	cols := []string{"workload", "ports"}
+	for _, z := range fig6Sizes {
+		cols = append(cols, fmt.Sprintf("%de", z))
+	}
+	tbl := stats.NewTable(cols...)
 	for _, w := range h.opt.Workload {
-		for _, p := range ports {
+		for _, p := range fig6Ports {
 			row := []interface{}{w, p}
-			for _, z := range sizes {
-				m := config.NaiveMMU(p)
-				m.Entries = z
-				st, err := h.Run(w, h.cfgWith(m))
+			for _, z := range fig6Sizes {
+				st, err := h.Run(w, fig6Cfg(h, z, p))
 				if err != nil {
 					return "", err
 				}
@@ -136,46 +194,50 @@ func Figure6(h *Harness) (string, error) {
 	return tbl.String(), nil
 }
 
+// fig7Variants: non-blocking facilities added stepwise vs the ideal TLB.
+func fig7Variants(h *Harness) []variant {
+	blocking := config.NaiveMMU(4)
+	hum := blocking
+	hum.HitsUnderMiss = true
+	ovl := hum
+	ovl.CacheOverlap = true
+	return []variant{
+		{"blocking", h.cfgWith(blocking)},
+		{"+hits-under-miss", h.cfgWith(hum)},
+		{"+cache-overlap", h.cfgWith(ovl)},
+		{"ideal-512e-32p", h.cfgWith(config.MMU{}.Ideal())},
+	}
+}
+
 // Figure7 adds non-blocking facilities stepwise and compares against the
 // impractical ideal TLB.
-func Figure7(h *Harness) (string, error) {
-	tbl := stats.NewTable("workload", "blocking", "+hits-under-miss", "+cache-overlap", "ideal-512e-32p")
-	for _, w := range h.opt.Workload {
-		blocking := config.NaiveMMU(4)
-		hum := blocking
-		hum.HitsUnderMiss = true
-		ovl := hum
-		ovl.CacheOverlap = true
-		ideal := config.MMU{}.Ideal()
-		row := []interface{}{w}
-		for _, m := range []config.MMU{blocking, hum, ovl, ideal} {
-			st, err := h.Run(w, h.cfgWith(m))
-			if err != nil {
-				return "", err
-			}
-			s, err := h.speedup(w, st)
-			if err != nil {
-				return "", err
-			}
-			row = append(row, s)
-		}
-		tbl.AddRow(row...)
-	}
-	return tbl.String(), nil
+func Figure7(h *Harness) (string, error) { return speedupTable(h, fig7Variants(h)) }
+
+// fig10MMUs returns the nonblocking, +ptw-sched, and ideal designs.
+func fig10MMUs() (nb, sched, ideal config.MMU) {
+	nb = config.NaiveMMU(4)
+	nb.HitsUnderMiss = true
+	nb.CacheOverlap = true
+	sched = nb
+	sched.PTWSched = true
+	return nb, sched, config.MMU{}.Ideal()
+}
+
+func fig10Specs(h *Harness) []RunSpec {
+	nb, sched, ideal := fig10MMUs()
+	return variantSpecs(h, []variant{
+		{"nonblocking", h.cfgWith(nb)},
+		{"+ptw-sched", h.cfgWith(sched)},
+		{"ideal", h.cfgWith(ideal)},
+	}, true)
 }
 
 // Figure10 adds PTW scheduling on top of the non-blocking TLB and reports
 // the walk-reference savings the paper quotes in the text.
 func Figure10(h *Harness) (string, error) {
 	tbl := stats.NewTable("workload", "nonblocking", "+ptw-sched", "ideal", "refs-elim-%", "walk$hit-%")
+	nb, sched, ideal := fig10MMUs()
 	for _, w := range h.opt.Workload {
-		nb := config.NaiveMMU(4)
-		nb.HitsUnderMiss = true
-		nb.CacheOverlap = true
-		sched := nb
-		sched.PTWSched = true
-		ideal := config.MMU{}.Ideal()
-
 		row := []interface{}{w}
 		var schedSt *stats.Sim
 		for _, m := range []config.MMU{nb, sched, ideal} {
@@ -202,323 +264,182 @@ func Figure10(h *Harness) (string, error) {
 	return tbl.String(), nil
 }
 
+// fig11Variants: the augmented single walker against naive multi-walker
+// designs.
+func fig11Variants(h *Harness) []variant {
+	vs := []variant{{"augmented-1ptw", h.cfgWith(config.AugmentedMMU())}}
+	for _, n := range []int{2, 4, 8} {
+		m := config.NaiveMMU(4)
+		m.NumPTWs = n
+		vs = append(vs, variant{fmt.Sprintf("naive-%dptw", n), h.cfgWith(m)})
+	}
+	return vs
+}
+
 // Figure11 compares the augmented single-walker design against naive TLBs
 // with 2, 4, and 8 walkers.
-func Figure11(h *Harness) (string, error) {
-	tbl := stats.NewTable("workload", "augmented-1ptw", "naive-2ptw", "naive-4ptw", "naive-8ptw")
-	for _, w := range h.opt.Workload {
-		row := []interface{}{w}
-		aug, err := h.Run(w, h.cfgWith(config.AugmentedMMU()))
-		if err != nil {
-			return "", err
-		}
-		s, err := h.speedup(w, aug)
-		if err != nil {
-			return "", err
-		}
-		row = append(row, s)
-		for _, n := range []int{2, 4, 8} {
-			m := config.NaiveMMU(4)
-			m.NumPTWs = n
-			st, err := h.Run(w, h.cfgWith(m))
-			if err != nil {
-				return "", err
-			}
-			s, err := h.speedup(w, st)
-			if err != nil {
-				return "", err
-			}
-			row = append(row, s)
-		}
-		tbl.AddRow(row...)
+func Figure11(h *Harness) (string, error) { return speedupTable(h, fig11Variants(h)) }
+
+// fig13Variants: CCWS with and without naive/augmented TLBs.
+func fig13Variants(h *Harness) []variant {
+	mk := func(m config.MMU, pol config.SchedulerPolicy) config.Hardware {
+		cfg := h.cfgWith(m)
+		cfg.Sched.Policy = pol
+		return cfg
 	}
-	return tbl.String(), nil
+	return []variant{
+		{"naive-tlb", mk(config.NaiveMMU(4), config.SchedLRR)},
+		{"augmented", mk(config.AugmentedMMU(), config.SchedLRR)},
+		{"ccws-no-tlb", mk(config.MMU{Enabled: false}, config.SchedCCWS)},
+		{"ccws+naive", mk(config.NaiveMMU(4), config.SchedCCWS)},
+		{"ccws+augmented", mk(config.AugmentedMMU(), config.SchedCCWS)},
+	}
 }
 
 // Figure13 shows CCWS with and without naive/augmented TLBs.
-func Figure13(h *Harness) (string, error) {
-	tbl := stats.NewTable("workload", "naive-tlb", "augmented", "ccws-no-tlb", "ccws+naive", "ccws+augmented")
-	for _, w := range h.opt.Workload {
-		mk := func(m config.MMU, pol config.SchedulerPolicy) (float64, error) {
-			cfg := h.cfgWith(m)
-			cfg.Sched.Policy = pol
-			st, err := h.Run(w, cfg)
-			if err != nil {
-				return 0, err
-			}
-			return h.speedup(w, st)
-		}
-		row := []interface{}{w}
-		for _, c := range []struct {
-			m   config.MMU
-			pol config.SchedulerPolicy
-		}{
-			{config.NaiveMMU(4), config.SchedLRR},
-			{config.AugmentedMMU(), config.SchedLRR},
-			{config.MMU{Enabled: false}, config.SchedCCWS},
-			{config.NaiveMMU(4), config.SchedCCWS},
-			{config.AugmentedMMU(), config.SchedCCWS},
-		} {
-			s, err := mk(c.m, c.pol)
-			if err != nil {
-				return "", err
-			}
-			row = append(row, s)
-		}
-		tbl.AddRow(row...)
+func Figure13(h *Harness) (string, error) { return speedupTable(h, fig13Variants(h)) }
+
+// fig16Variants: the TA-CCWS TLB-miss weight sweep.
+func fig16Variants(h *Harness) []variant {
+	ccwsBase := h.cfgNoTLB()
+	ccwsBase.Sched.Policy = config.SchedCCWS
+	plain := h.cfgWith(config.AugmentedMMU())
+	plain.Sched.Policy = config.SchedCCWS
+	vs := []variant{
+		{"ccws-no-tlb", ccwsBase},
+		{"ccws+aug", plain},
 	}
-	return tbl.String(), nil
+	for _, wt := range []int{2, 4, 8} {
+		cfg := h.cfgWith(config.AugmentedMMU())
+		cfg.Sched.Policy = config.SchedTACCWS
+		cfg.Sched.TLBMissWeight = wt
+		vs = append(vs, variant{fmt.Sprintf("ta-ccws-%d:1", wt), cfg})
+	}
+	return vs
 }
 
 // Figure16 sweeps TA-CCWS TLB-miss weights.
-func Figure16(h *Harness) (string, error) {
-	tbl := stats.NewTable("workload", "ccws-no-tlb", "ccws+aug", "ta-ccws-2:1", "ta-ccws-4:1", "ta-ccws-8:1")
-	for _, w := range h.opt.Workload {
-		row := []interface{}{w}
-		base := h.cfgNoTLB()
-		base.Sched.Policy = config.SchedCCWS
-		st, err := h.Run(w, base)
-		if err != nil {
-			return "", err
-		}
-		s, err := h.speedup(w, st)
-		if err != nil {
-			return "", err
-		}
-		row = append(row, s)
+func Figure16(h *Harness) (string, error) { return speedupTable(h, fig16Variants(h)) }
 
-		plain := h.cfgWith(config.AugmentedMMU())
-		plain.Sched.Policy = config.SchedCCWS
-		st, err = h.Run(w, plain)
-		if err != nil {
-			return "", err
-		}
-		if s, err = h.speedup(w, st); err != nil {
-			return "", err
-		}
-		row = append(row, s)
-
-		for _, wt := range []int{2, 4, 8} {
-			cfg := h.cfgWith(config.AugmentedMMU())
-			cfg.Sched.Policy = config.SchedTACCWS
-			cfg.Sched.TLBMissWeight = wt
-			st, err := h.Run(w, cfg)
-			if err != nil {
-				return "", err
-			}
-			if s, err = h.speedup(w, st); err != nil {
-				return "", err
-			}
-			row = append(row, s)
-		}
-		tbl.AddRow(row...)
+// fig17Variants: the TCWS victim-tag-array entries-per-warp sweep.
+func fig17Variants(h *Harness) []variant {
+	ccwsBase := h.cfgNoTLB()
+	ccwsBase.Sched.Policy = config.SchedCCWS
+	ta := h.cfgWith(config.AugmentedMMU())
+	ta.Sched.Policy = config.SchedTACCWS
+	ta.Sched.TLBMissWeight = 4
+	vs := []variant{
+		{"ccws-no-tlb", ccwsBase},
+		{"ta-ccws-4:1", ta},
 	}
-	return tbl.String(), nil
+	for _, epw := range []int{2, 4, 8, 16} {
+		cfg := h.cfgWith(config.AugmentedMMU())
+		cfg.Sched.Policy = config.SchedTCWS
+		cfg.Sched.TLBMissWeight = 4
+		cfg.Sched.VTAEntriesPerWarp = epw
+		vs = append(vs, variant{fmt.Sprintf("tcws-%depw", epw), cfg})
+	}
+	return vs
 }
 
 // Figure17 sweeps TCWS victim-tag-array entries per warp.
-func Figure17(h *Harness) (string, error) {
-	tbl := stats.NewTable("workload", "ccws-no-tlb", "ta-ccws-4:1", "tcws-2epw", "tcws-4epw", "tcws-8epw", "tcws-16epw")
-	for _, w := range h.opt.Workload {
-		row := []interface{}{w}
-		base := h.cfgNoTLB()
-		base.Sched.Policy = config.SchedCCWS
-		st, err := h.Run(w, base)
-		if err != nil {
-			return "", err
-		}
-		s, err := h.speedup(w, st)
-		if err != nil {
-			return "", err
-		}
-		row = append(row, s)
+func Figure17(h *Harness) (string, error) { return speedupTable(h, fig17Variants(h)) }
 
-		ta := h.cfgWith(config.AugmentedMMU())
-		ta.Sched.Policy = config.SchedTACCWS
-		ta.Sched.TLBMissWeight = 4
-		st, err = h.Run(w, ta)
-		if err != nil {
-			return "", err
-		}
-		if s, err = h.speedup(w, st); err != nil {
-			return "", err
-		}
-		row = append(row, s)
-
-		for _, epw := range []int{2, 4, 8, 16} {
-			cfg := h.cfgWith(config.AugmentedMMU())
-			cfg.Sched.Policy = config.SchedTCWS
-			cfg.Sched.TLBMissWeight = 4
-			cfg.Sched.VTAEntriesPerWarp = epw
-			st, err := h.Run(w, cfg)
-			if err != nil {
-				return "", err
-			}
-			if s, err = h.speedup(w, st); err != nil {
-				return "", err
-			}
-			row = append(row, s)
-		}
-		tbl.AddRow(row...)
+// fig18Variants: the TCWS LRU-depth weight schemes.
+func fig18Variants(h *Harness) []variant {
+	ccwsBase := h.cfgNoTLB()
+	ccwsBase.Sched.Policy = config.SchedCCWS
+	tcws := func(ws []int) config.Hardware {
+		cfg := h.cfgWith(config.AugmentedMMU())
+		cfg.Sched.Policy = config.SchedTCWS
+		cfg.Sched.TLBMissWeight = 4
+		cfg.Sched.VTAEntriesPerWarp = 8
+		cfg.Sched.LRUDepthWeights = ws
+		return cfg
 	}
-	return tbl.String(), nil
+	return []variant{
+		{"ccws-no-tlb", ccwsBase},
+		{"tcws-8epw", tcws(nil)},
+		{"lru(1,2,3,4)", tcws([]int{1, 2, 3, 4})},
+		{"lru(1,2,4,8)", tcws([]int{1, 2, 4, 8})},
+		{"lru(1,3,6,9)", tcws([]int{1, 3, 6, 9})},
+	}
 }
 
 // Figure18 sweeps TCWS LRU-depth weight schemes.
-func Figure18(h *Harness) (string, error) {
-	schemes := []struct {
-		name string
-		ws   []int
-	}{
-		{"lru1234", []int{1, 2, 3, 4}},
-		{"lru1248", []int{1, 2, 4, 8}},
-		{"lru1369", []int{1, 3, 6, 9}},
-	}
-	tbl := stats.NewTable("workload", "ccws-no-tlb", "tcws-8epw", "lru(1,2,3,4)", "lru(1,2,4,8)", "lru(1,3,6,9)")
-	for _, w := range h.opt.Workload {
-		row := []interface{}{w}
-		base := h.cfgNoTLB()
-		base.Sched.Policy = config.SchedCCWS
-		st, err := h.Run(w, base)
-		if err != nil {
-			return "", err
-		}
-		s, err := h.speedup(w, st)
-		if err != nil {
-			return "", err
-		}
-		row = append(row, s)
+func Figure18(h *Harness) (string, error) { return speedupTable(h, fig18Variants(h)) }
 
-		plain := h.cfgWith(config.AugmentedMMU())
-		plain.Sched.Policy = config.SchedTCWS
-		plain.Sched.TLBMissWeight = 4
-		plain.Sched.VTAEntriesPerWarp = 8
-		st, err = h.Run(w, plain)
-		if err != nil {
-			return "", err
-		}
-		if s, err = h.speedup(w, st); err != nil {
-			return "", err
-		}
-		row = append(row, s)
-
-		for _, sc := range schemes {
-			cfg := h.cfgWith(config.AugmentedMMU())
-			cfg.Sched.Policy = config.SchedTCWS
-			cfg.Sched.TLBMissWeight = 4
-			cfg.Sched.VTAEntriesPerWarp = 8
-			cfg.Sched.LRUDepthWeights = sc.ws
-			st, err := h.Run(w, cfg)
-			if err != nil {
-				return "", err
-			}
-			if s, err = h.speedup(w, st); err != nil {
-				return "", err
-			}
-			row = append(row, s)
-		}
-		tbl.AddRow(row...)
+// fig20Variants: TBC with and without naive/augmented TLBs.
+func fig20Variants(h *Harness) []variant {
+	mk := func(m config.MMU, mode config.DivergenceMode) config.Hardware {
+		cfg := h.cfgWith(m)
+		cfg.TBC.Mode = mode
+		return cfg
 	}
-	return tbl.String(), nil
+	return []variant{
+		{"tbc-no-tlb", mk(config.MMU{Enabled: false}, config.DivTBC)},
+		{"tbc+naive", mk(config.NaiveMMU(4), config.DivTBC)},
+		{"tbc+augmented", mk(config.AugmentedMMU(), config.DivTBC)},
+		{"naive-no-tbc", mk(config.NaiveMMU(4), config.DivStack)},
+		{"augmented-no-tbc", mk(config.AugmentedMMU(), config.DivStack)},
+	}
 }
 
 // Figure20 shows TBC with and without naive/augmented TLBs.
-func Figure20(h *Harness) (string, error) {
-	tbl := stats.NewTable("workload", "tbc-no-tlb", "tbc+naive", "tbc+augmented", "naive-no-tbc", "augmented-no-tbc")
-	for _, w := range h.opt.Workload {
-		mk := func(m config.MMU, mode config.DivergenceMode) (float64, error) {
-			cfg := h.cfgWith(m)
-			cfg.TBC.Mode = mode
-			st, err := h.Run(w, cfg)
-			if err != nil {
-				return 0, err
-			}
-			return h.speedup(w, st)
-		}
-		row := []interface{}{w}
-		for _, c := range []struct {
-			m    config.MMU
-			mode config.DivergenceMode
-		}{
-			{config.MMU{Enabled: false}, config.DivTBC},
-			{config.NaiveMMU(4), config.DivTBC},
-			{config.AugmentedMMU(), config.DivTBC},
-			{config.NaiveMMU(4), config.DivStack},
-			{config.AugmentedMMU(), config.DivStack},
-		} {
-			s, err := mk(c.m, c.mode)
-			if err != nil {
-				return "", err
-			}
-			row = append(row, s)
-		}
-		tbl.AddRow(row...)
+func Figure20(h *Harness) (string, error) { return speedupTable(h, fig20Variants(h)) }
+
+// fig22Variants: the CPM counter-width sweep for TLB-aware TBC.
+func fig22Variants(h *Harness) []variant {
+	base := h.cfgNoTLB()
+	base.TBC.Mode = config.DivTBC
+	agn := h.cfgWith(config.AugmentedMMU())
+	agn.TBC.Mode = config.DivTBC
+	vs := []variant{
+		{"tbc-no-tlb", base},
+		{"tbc+augmented", agn},
 	}
-	return tbl.String(), nil
+	for _, bits := range []int{1, 2, 3} {
+		cfg := h.cfgWith(config.AugmentedMMU())
+		cfg.TBC.Mode = config.DivTLBTBC
+		cfg.TBC.CPMBits = bits
+		vs = append(vs, variant{fmt.Sprintf("tlb-tbc-%dbit", bits), cfg})
+	}
+	return vs
 }
 
 // Figure22 sweeps CPM counter widths for TLB-aware TBC.
-func Figure22(h *Harness) (string, error) {
-	tbl := stats.NewTable("workload", "tbc-no-tlb", "tbc+augmented", "tlb-tbc-1bit", "tlb-tbc-2bit", "tlb-tbc-3bit")
-	for _, w := range h.opt.Workload {
-		row := []interface{}{w}
-		base := h.cfgNoTLB()
-		base.TBC.Mode = config.DivTBC
-		st, err := h.Run(w, base)
-		if err != nil {
-			return "", err
-		}
-		s, err := h.speedup(w, st)
-		if err != nil {
-			return "", err
-		}
-		row = append(row, s)
+func Figure22(h *Harness) (string, error) { return speedupTable(h, fig22Variants(h)) }
 
-		agn := h.cfgWith(config.AugmentedMMU())
-		agn.TBC.Mode = config.DivTBC
-		st, err = h.Run(w, agn)
-		if err != nil {
-			return "", err
-		}
-		if s, err = h.speedup(w, st); err != nil {
-			return "", err
-		}
-		row = append(row, s)
+// figLPCfgs returns the three large-page study configurations.
+func figLPCfgs(h *Harness) (small, big, base2m config.Hardware) {
+	small = h.cfgWith(config.AugmentedMMU())
+	big = h.cfgWith(config.AugmentedMMU())
+	big.PageShift = 21
+	base2m = h.cfgNoTLB()
+	base2m.PageShift = 21
+	return
+}
 
-		for _, bits := range []int{1, 2, 3} {
-			cfg := h.cfgWith(config.AugmentedMMU())
-			cfg.TBC.Mode = config.DivTLBTBC
-			cfg.TBC.CPMBits = bits
-			st, err := h.Run(w, cfg)
-			if err != nil {
-				return "", err
-			}
-			if s, err = h.speedup(w, st); err != nil {
-				return "", err
-			}
-			row = append(row, s)
-		}
-		tbl.AddRow(row...)
-	}
-	return tbl.String(), nil
+func figLPSpecs(h *Harness) []RunSpec {
+	small, big, base2m := figLPCfgs(h)
+	return variantSpecs(h, []variant{
+		{"4k", small}, {"2m", big}, {"2m-base", base2m},
+	}, false)
 }
 
 // FigureLargePages reports 2 MB-page divergence and overheads (section 9).
 func FigureLargePages(h *Harness) (string, error) {
 	tbl := stats.NewTable("workload", "4k-pagediv", "2m-pagediv", "4k-missrate-%", "2m-missrate-%", "2m-speedup-vs-no-tlb")
+	smallCfg, bigCfg, baseCfg := figLPCfgs(h)
 	for _, w := range h.opt.Workload {
-		small, err := h.Run(w, h.cfgWith(config.AugmentedMMU()))
+		small, err := h.Run(w, smallCfg)
 		if err != nil {
 			return "", err
 		}
-		cfg := h.cfgWith(config.AugmentedMMU())
-		cfg.PageShift = 21
-		big, err := h.Run(w, cfg)
+		big, err := h.Run(w, bigCfg)
 		if err != nil {
 			return "", err
 		}
-		baseCfg := h.cfgNoTLB()
-		baseCfg.PageShift = 21
 		base2m, err := h.Run(w, baseCfg)
 		if err != nil {
 			return "", err
@@ -533,36 +454,78 @@ func FigureLargePages(h *Harness) (string, error) {
 	return tbl.String(), nil
 }
 
-// FigureExtensions evaluates this repository's beyond-the-paper designs
-// (section 10 "low-hanging fruit"): a page walk cache, a chip-level shared
-// L2 TLB, and software-managed walks, all against the augmented MMU.
-func FigureExtensions(h *Harness) (string, error) {
-	tbl := stats.NewTable("workload", "augmented", "+pwc64", "+shared-l2-tlb", "software-walks")
-	for _, w := range h.opt.Workload {
-		aug := config.AugmentedMMU()
-		pwc := aug
-		pwc.PWCEntries = 64
-		sh := aug
-		sh.SharedTLBEntries = 4096
-		sw := config.NaiveMMU(4)
-		sw.SoftwareWalks = true
-		sw.SoftwareWalkOverhead = 300
-
-		row := []interface{}{w}
-		for _, m := range []config.MMU{aug, pwc, sh, sw} {
-			st, err := h.Run(w, h.cfgWith(m))
-			if err != nil {
-				return "", err
-			}
-			s, err := h.speedup(w, st)
-			if err != nil {
-				return "", err
-			}
-			row = append(row, s)
-		}
-		tbl.AddRow(row...)
+// figEXTVariants: this repository's beyond-the-paper designs (section 10
+// "low-hanging fruit"): a page walk cache, a chip-level shared L2 TLB, and
+// software-managed walks, all against the augmented MMU.
+func figEXTVariants(h *Harness) []variant {
+	aug := config.AugmentedMMU()
+	pwc := aug
+	pwc.PWCEntries = 64
+	sh := aug
+	sh.SharedTLBEntries = 4096
+	sw := config.NaiveMMU(4)
+	sw.SoftwareWalks = true
+	sw.SoftwareWalkOverhead = 300
+	return []variant{
+		{"augmented", h.cfgWith(aug)},
+		{"+pwc64", h.cfgWith(pwc)},
+		{"+shared-l2-tlb", h.cfgWith(sh)},
+		{"software-walks", h.cfgWith(sw)},
 	}
-	return tbl.String(), nil
+}
+
+// FigureExtensions evaluates the beyond-the-paper designs.
+func FigureExtensions(h *Harness) (string, error) { return speedupTable(h, figEXTVariants(h)) }
+
+// All returns every figure reproduction, in paper order.
+func All() []Figure {
+	fig2 := variantFigure("fig2", "Naive TLBs under LRR, CCWS and TBC",
+		"naive 128e/3p TLBs degrade performance in every case; 30-50% below CCWS/TBC without TLBs", fig2Variants)
+	fig7 := variantFigure("fig7", "Non-blocking TLBs",
+		"hits-under-miss helps; overlapping cache access helps more (e.g. +8% streamcluster)", fig7Variants)
+	fig11 := variantFigure("fig11", "Augmented 1 PTW vs naive multi-PTW",
+		"augmented single walker outperforms 8 naive walkers by ~10%", fig11Variants)
+	fig13 := variantFigure("fig13", "CCWS with TLBs",
+		"CCWS+naive TLBs far below CCWS without TLBs; augmented MMU narrows but does not close the gap", fig13Variants)
+	fig16 := variantFigure("fig16", "TA-CCWS weight sweep",
+		"weighting TLB misses 4x cache misses recovers most CCWS loss on 4 of 6 workloads", fig16Variants)
+	fig17 := variantFigure("fig17", "TCWS entries-per-warp sweep",
+		"8 entries per warp VTA performs best, beating TA-CCWS with half the hardware", fig17Variants)
+	fig18 := variantFigure("fig18", "TCWS LRU-depth weights",
+		"LRU(1,2,4,8) best; within 1-15% of CCWS-without-TLBs", fig18Variants)
+	fig20 := variantFigure("fig20", "TBC with TLBs",
+		"TBC+TLBs loses ~20% vs TBC without TLBs; augmented TLBs alone beat TBC+augmented TLBs", fig20Variants)
+	fig22 := variantFigure("fig22", "TLB-aware TBC CPM bits",
+		"even 1-bit CPM counters help; 3 bits land within 3-12% of TBC without TLBs", fig22Variants)
+	figEXT := variantFigure("figEXT", "Extensions beyond the paper",
+		"no paper reference — page walk cache, shared L2 TLB, and software-managed walks vs the augmented MMU", figEXTVariants)
+	return []Figure{
+		fig2,
+		{ID: "fig3", Title: "Workload characterisation",
+			Paper: "mem instrs <25% of total; TLB miss rates 22-70%; page divergence avg >4 (bfs) and >8 (mummer), max consistently high",
+			Plan:  fig3Specs, Run: Figure3},
+		{ID: "fig4", Title: "TLB vs L1 miss latency",
+			Paper: "TLB misses cost about twice an L1 miss",
+			Plan:  fig3Specs, Run: Figure4}, // same single naive-TLB run as fig3
+		{ID: "fig6", Title: "TLB size and port sweep",
+			Paper: "128 entries best once real access latencies included; 3->4 ports recovers most port-starved loss",
+			Plan:  fig6Specs, Run: Figure6},
+		fig7,
+		{ID: "fig10", Title: "PTW scheduling",
+			Paper: "within ~1% of the impractical ideal TLB; walk refs cut 10-20%; walk cache hit rate up 5-8%",
+			Plan:  fig10Specs, Run: Figure10},
+		fig11,
+		fig13,
+		fig16,
+		fig17,
+		fig18,
+		fig20,
+		fig22,
+		{ID: "figLP", Title: "2MB large pages",
+			Paper: "large pages collapse page divergence except bfs/mummer, which keep divergence ~3 and ~6",
+			Plan:  figLPSpecs, Run: FigureLargePages},
+		figEXT,
+	}
 }
 
 // Summary renders a short all-figures index.

@@ -1,0 +1,255 @@
+// Run planning and parallel execution for the experiment pipeline.
+//
+// The pipeline has three phases:
+//
+//  1. Plan: each figure declares its (workload, config) matrix as RunSpec
+//     values; specs from all requested figures are collected into a Plan,
+//     which dedupes them by the canonical config.Hardware.Key.
+//  2. Execute: an Executor runs the unique specs on a pool of -j worker
+//     goroutines. Every worker builds its own workload and GPU, so no
+//     simulator state is shared; results (statistics, wall time, errors)
+//     are published into a concurrency-safe ResultStore. Progress lines
+//     are serialised through one mutex so verbose output never interleaves.
+//  3. Render: figures format their tables purely from completed results.
+//     Because each simulation is deterministic (fixed-seed RNG, see
+//     internal/engine) and rendering happens after the barrier in plan
+//     order, the report is byte-identical regardless of worker count or
+//     completion order.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"gpummu/internal/config"
+	"gpummu/internal/gpu"
+	"gpummu/internal/stats"
+	"gpummu/internal/workloads"
+)
+
+// RunSpec names one simulation: a workload under a hardware configuration.
+// Specs are value types; two specs are the same run iff their Keys match.
+type RunSpec struct {
+	Workload string
+	Config   config.Hardware
+}
+
+// Key canonically identifies the run for dedup and result lookup.
+func (s RunSpec) Key() string { return s.Workload + "|" + s.Config.Key() }
+
+// String renders the spec the way progress and error messages show runs.
+func (s RunSpec) String() string {
+	return fmt.Sprintf("%s [%s]", s.Workload, describe(s.Config))
+}
+
+// Plan is an ordered, deduplicated collection of runs to execute. Adding a
+// spec whose key is already present is a no-op, so figures can declare
+// overlapping matrices (e.g. the shared no-TLB baseline) freely.
+type Plan struct {
+	specs []RunSpec
+	seen  map[string]bool
+}
+
+// NewPlan returns an empty plan.
+func NewPlan() *Plan { return &Plan{seen: make(map[string]bool)} }
+
+// Add appends the specs not already planned, in order.
+func (p *Plan) Add(specs ...RunSpec) {
+	for _, s := range specs {
+		k := s.Key()
+		if p.seen[k] {
+			continue
+		}
+		p.seen[k] = true
+		p.specs = append(p.specs, s)
+	}
+}
+
+// Specs returns the planned runs in insertion order.
+func (p *Plan) Specs() []RunSpec { return append([]RunSpec(nil), p.specs...) }
+
+// Len returns the number of unique planned runs.
+func (p *Plan) Len() int { return len(p.specs) }
+
+// RunResult is the outcome of executing one RunSpec.
+type RunResult struct {
+	Spec  RunSpec
+	Stats *stats.Sim    // nil when Err != nil
+	Wall  time.Duration // host wall time the simulation took
+	Err   error         // simulation or functional-check failure
+}
+
+// ResultStore is a concurrency-safe map from spec key to result. Results
+// are write-once: the first publication wins and later ones are dropped,
+// so a stored result never changes underneath a reader.
+type ResultStore struct {
+	mu sync.RWMutex
+	m  map[string]*RunResult
+}
+
+// NewResultStore returns an empty store.
+func NewResultStore() *ResultStore {
+	return &ResultStore{m: make(map[string]*RunResult)}
+}
+
+// Get returns the completed result for spec, if present.
+func (r *ResultStore) Get(spec RunSpec) (*RunResult, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	res, ok := r.m[spec.Key()]
+	return res, ok
+}
+
+// Put publishes a completed result; the first write for a key wins.
+func (r *ResultStore) Put(res *RunResult) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := res.Spec.Key()
+	if _, dup := r.m[k]; dup {
+		return
+	}
+	r.m[k] = res
+}
+
+// Len returns the number of stored results.
+func (r *ResultStore) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+// Failed returns the failed results in no particular order.
+func (r *ResultStore) Failed() []*RunResult {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []*RunResult
+	for _, res := range r.m {
+		if res.Err != nil {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// Executor runs plans on a pool of worker goroutines.
+type Executor struct {
+	Workers  int            // goroutines; <= 0 means runtime.GOMAXPROCS(0)
+	Size     workloads.Size // dataset scale for workload construction
+	Seed     uint64         // workload generation seed
+	Progress io.Writer      // per-run progress lines; nil for silent
+	Store    *ResultStore   // destination; created on first use when nil
+
+	mu   sync.Mutex // serialises Progress so lines never interleave
+	done int        // completed runs, for progress numbering
+}
+
+// workers resolves the effective pool size.
+func (e *Executor) workers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// store resolves the destination store.
+func (e *Executor) store() *ResultStore {
+	if e.Store == nil {
+		e.Store = NewResultStore()
+	}
+	return e.Store
+}
+
+// Execute runs every spec in the plan that the store has no result for
+// yet, fanning the work across the executor's goroutine pool, and blocks
+// until all of them have completed. Per-run failures are captured in the
+// store (and logged to Progress), not returned: the caller decides whether
+// a missing result is fatal, so one deadlocked spec cannot abort a whole
+// report. The returned count is how many simulations actually ran.
+func (e *Executor) Execute(p *Plan) int {
+	st := e.store()
+	var todo []RunSpec
+	for _, s := range p.specs {
+		if _, ok := st.Get(s); !ok {
+			todo = append(todo, s)
+		}
+	}
+	if len(todo) == 0 {
+		return 0
+	}
+	nw := e.workers()
+	if nw > len(todo) {
+		nw = len(todo)
+	}
+	jobs := make(chan RunSpec)
+	var wg sync.WaitGroup
+	for i := 0; i < nw; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for spec := range jobs {
+				res := ExecuteOne(spec, e.Size, e.Seed)
+				st.Put(res)
+				e.logProgress(res, len(todo))
+			}
+		}()
+	}
+	for _, s := range todo {
+		jobs <- s
+	}
+	close(jobs)
+	wg.Wait()
+	return len(todo)
+}
+
+// logProgress emits one serialised progress line for a completed run.
+func (e *Executor) logProgress(res *RunResult, total int) {
+	if e.Progress == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.done++
+	if res.Err != nil {
+		fmt.Fprintf(e.Progress, "# [%d/%d] FAILED %s: %v\n", e.done, total, res.Spec, res.Err)
+		return
+	}
+	fmt.Fprintf(e.Progress, "# [%d/%d] ran %s in %v: %d cycles\n",
+		e.done, total, res.Spec, res.Wall.Round(time.Millisecond), res.Stats.Cycles)
+}
+
+// ExecuteOne runs a single spec to completion in the calling goroutine.
+// It builds a private workload and GPU so concurrent calls share no
+// simulator state; the result's statistics are final and never mutated
+// again (renderers receive clones).
+func ExecuteOne(spec RunSpec, size workloads.Size, seed uint64) *RunResult {
+	res := &RunResult{Spec: spec}
+	start := time.Now()
+	defer func() { res.Wall = time.Since(start) }()
+
+	wl, err := workloads.Build(spec.Workload, size, spec.Config.PageShift, seed)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	st := &stats.Sim{}
+	g, err := gpu.New(spec.Config, wl.AS, st)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	if _, err := g.Run(wl.Launch); err != nil {
+		res.Err = err
+		return res
+	}
+	if wl.Check != nil {
+		if err := wl.Check(); err != nil {
+			res.Err = fmt.Errorf("functional check: %w", err)
+			return res
+		}
+	}
+	res.Stats = st
+	return res
+}

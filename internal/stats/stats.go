@@ -71,6 +71,13 @@ func (h *Hist) Observe(v int) {
 	}
 }
 
+// Clone returns an independent deep copy of the histogram.
+func (h *Hist) Clone() Hist {
+	c := *h
+	c.buckets = append([]uint64(nil), h.buckets...)
+	return c
+}
+
 // Count returns the number of samples observed.
 func (h *Hist) Count() uint64 { return h.count }
 
@@ -171,6 +178,19 @@ type Sim struct {
 	SchedThrottles Counter // cycles the scheduling pool was restricted
 	CompactedWarps Counter // dynamic warps formed by TBC
 	CPMRejects     Counter // compaction candidates deferred by the CPM
+}
+
+// Clone returns an independent deep copy of the statistics. The experiment
+// pipeline finalises each completed simulation by handing renderers clones,
+// so a renderer can never mutate the shared result another figure (or a
+// concurrent worker) is reading — the executor's store stays effectively
+// read-only after a run completes.
+func (s *Sim) Clone() *Sim {
+	c := *s
+	c.PageDivergence = s.PageDivergence.Clone()
+	c.LineDivergence = s.LineDivergence.Clone()
+	c.ActiveLanes = s.ActiveLanes.Clone()
+	return &c
 }
 
 // TLBMissRate returns misses / accesses (0 when no accesses).

@@ -104,6 +104,44 @@ func TestSimDerivedRates(t *testing.T) {
 	}
 }
 
+func TestSimCloneIsIndependent(t *testing.T) {
+	var s Sim
+	s.Cycles = 100
+	s.Instructions.Add(7)
+	s.PageDivergence.Observe(3)
+	s.ActiveLanes.Observe(8)
+	c := s.Clone()
+	if c.Cycles != 100 || c.Instructions.Value() != 7 || c.PageDivergence.Mean() != 3 {
+		t.Fatalf("clone lost data: %+v", c)
+	}
+	// Mutating the original must not leak into the clone (shared buckets
+	// would), and vice versa.
+	s.PageDivergence.Observe(1)
+	s.Cycles = 999
+	if c.PageDivergence.Count() != 1 || c.PageDivergence.Mean() != 3 || c.Cycles != 100 {
+		t.Fatalf("clone shares state with original: %+v", c.PageDivergence)
+	}
+	c.ActiveLanes.Observe(2)
+	if s.ActiveLanes.Count() != 1 {
+		t.Fatal("original shares state with clone")
+	}
+}
+
+func TestHistClone(t *testing.T) {
+	var h Hist
+	for _, v := range []int{1, 4, 4, 9} {
+		h.Observe(v)
+	}
+	c := h.Clone()
+	if c.Count() != 4 || c.Max() != 9 || c.Bucket(4) != 2 {
+		t.Fatalf("clone = %+v", c)
+	}
+	h.Observe(20)
+	if c.Max() != 9 || c.Count() != 4 {
+		t.Fatal("clone tracks original")
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tbl := NewTable("name", "value")
 	tbl.AddRow("aa", 1.5)

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the race detector.
+#
+# The experiment pipeline executes simulations on a parallel worker pool
+# (internal/experiments/runner.go), so plain `go test` is not enough: the
+# executor tests deliberately hammer the result store and harness from many
+# goroutines, and only `-race` proves those paths are clean. Run this
+# before merging anything that touches internal/experiments, internal/stats,
+# or the CLIs.
+#
+# Usage: tools/ci.sh [package...]   (defaults to ./...)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+pkgs=("${@:-./...}")
+
+echo "== go vet ${pkgs[*]}"
+go vet "${pkgs[@]}"
+
+echo "== go build ${pkgs[*]}"
+go build "${pkgs[@]}"
+
+echo "== go test ${pkgs[*]}"
+go test "${pkgs[@]}"
+
+echo "== go test -race ${pkgs[*]}"
+go test -race "${pkgs[@]}"
+
+echo "ci: ok"
