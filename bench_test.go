@@ -412,6 +412,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		cfg.MMU = AugmentedMMU()
 		rep := benchRun(b, "kmeans", cfg)
 		b.ReportMetric(float64(rep.Instructions.Value()), "warp_instrs")
+		b.ReportMetric(float64(rep.Cycles), "sim_cycles")
 	}
 }
 

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"gpummu/internal/config"
@@ -44,8 +45,13 @@ func main() {
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		machine  = flag.String("machine", "baseline", "machine preset: baseline|small")
 		coresOvr = flag.Int("cores", 0, "override shader core count (0 = preset)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuProf, *memProf)
+	defer stopProfiles()
 
 	if *list {
 		fmt.Print(experiments.Summary())
@@ -112,7 +118,47 @@ func main() {
 	// the executor and surface here after the full report has rendered.
 	if err := experiments.RunFigures(h, figs); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: some figures failed:\n%v\n", err)
+		stopProfiles()
 		os.Exit(1)
+	}
+}
+
+// startProfiles starts the requested pprof collection and returns an
+// idempotent stop function that flushes the profiles. Call it both on the
+// normal return path (via defer) and before any explicit os.Exit.
+func startProfiles(cpu, heap string) func() {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if heap != "" {
+			f, err := os.Create(heap)
+			if err != nil {
+				fatal("-memprofile: %v", err)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("-memprofile: %v", err)
+			}
+			f.Close()
+		}
 	}
 }
 

@@ -22,6 +22,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -55,8 +56,13 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit statistics as JSON")
 		trace    = flag.Int("trace", 0, "dump the last N simulation events to stderr (single workload only)")
 		progress = flag.Bool("v", false, "log per-run completion to stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProfiles := startProfiles(*cpuProf, *memProf)
+	defer stopProfiles()
 
 	if *list {
 		for _, n := range workloads.Names() {
@@ -262,7 +268,47 @@ func main() {
 		fmt.Println("]")
 	}
 	if failed {
+		stopProfiles()
 		os.Exit(1)
+	}
+}
+
+// startProfiles starts the requested pprof collection and returns an
+// idempotent stop function that flushes the profiles. Call it both on the
+// normal return path (via defer) and before any explicit os.Exit.
+func startProfiles(cpu, heap string) func() {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if heap != "" {
+			f, err := os.Create(heap)
+			if err != nil {
+				fatal("-memprofile: %v", err)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal("-memprofile: %v", err)
+			}
+			f.Close()
+		}
 	}
 }
 

@@ -161,7 +161,19 @@ func (m *MMU) OutstandingWalks(now engine.Cycle) int {
 // carry the cycle each translation becomes available; the LSU overlaps or
 // serialises cache access around them according to the non-blocking flags.
 func (m *MMU) Lookup(now engine.Cycle, reqs []PageReq) []PageResult {
-	res := make([]PageResult, len(reqs))
+	return m.LookupInto(now, reqs, nil)
+}
+
+// LookupInto is Lookup writing into a caller-provided result buffer, which
+// is grown if too small and returned resliced to len(reqs). The LSU passes
+// its per-core scratch buffer so steady-state translation allocates nothing.
+func (m *MMU) LookupInto(now engine.Cycle, reqs []PageReq, dst []PageResult) []PageResult {
+	var res []PageResult
+	if cap(dst) >= len(reqs) {
+		res = dst[:len(reqs)]
+	} else {
+		res = make([]PageResult, len(reqs))
+	}
 	if !m.cfg.Enabled {
 		for i, r := range reqs {
 			tr := m.tr.Lookup(r.VPN << m.tr.PageShift())
@@ -268,36 +280,13 @@ func (m *MMU) walk(reqAt engine.Cycle, tr vm.Translation) engine.Cycle {
 	if cur < reqAt {
 		cur = reqAt
 	}
-	cur = m.walkPTEs(cur, tr, func(at engine.Cycle, pa uint64) engine.Cycle {
-		m.st.WalkRefs.Inc()
-		done, _ := m.sys.Access(at, pa, mem.ClassWalk)
-		return done
-	})
+	cur = m.walkPTEs(cur, tr, false)
 	m.walkers[best] = cur
 	return cur
 }
 
 func (m *MMU) walkScheduled(reqAt engine.Cycle, tr vm.Translation) engine.Cycle {
-	return m.walkPTEs(reqAt, tr, func(cur engine.Cycle, pa uint64) engine.Cycle {
-		if avail, ok := m.reuse[pa]; ok {
-			// An in-flight or just-completed walk already fetched this
-			// exact PTE; the comparator tree forwards it.
-			m.st.WalkRefsCoalesced.Inc()
-			if avail > cur {
-				return avail
-			}
-			return cur
-		}
-		// One reference issues per cycle through the walker's port.
-		if m.issuePort > cur {
-			cur = m.issuePort
-		}
-		m.issuePort = cur + 1
-		m.st.WalkRefs.Inc()
-		done, _ := m.sys.Access(cur, pa, mem.ClassWalk)
-		m.reuse[pa] = done
-		return done
-	})
+	return m.walkPTEs(reqAt, tr, true)
 }
 
 // walkSoftware services a miss by interrupting the core and running an OS
@@ -310,7 +299,7 @@ func (m *MMU) walkSoftware(reqAt engine.Cycle, tr vm.Translation) engine.Cycle {
 		cur = reqAt
 	}
 	cur += engine.Cycle(m.cfg.SoftwareWalkOverhead)
-	for _, pa := range tr.LevelPAs {
+	for _, pa := range tr.PAs() {
 		m.st.WalkRefs.Inc()
 		done, _ := m.sys.Access(cur, pa, mem.ClassWalk)
 		cur = done

@@ -2,6 +2,7 @@ package core
 
 import (
 	"gpummu/internal/engine"
+	"gpummu/internal/mem"
 	"gpummu/internal/vm"
 )
 
@@ -72,12 +73,15 @@ func (p *PWC) Flush() { clear(p.entries) }
 // Len reports the number of cached entries.
 func (p *PWC) Len() int { return len(p.entries) }
 
-// walkWithPWC performs a walk where upper-level references (all but the
-// last) consult the PWC first. It is shared by the serial and scheduled
-// walk paths when a PWC is configured.
-func (m *MMU) walkPTEs(cur engine.Cycle, tr vm.Translation, issue func(engine.Cycle, uint64) engine.Cycle) engine.Cycle {
-	last := len(tr.LevelPAs) - 1
-	for i, pa := range tr.LevelPAs {
+// walkPTEs issues the walk's PTE references, consulting the PWC first for
+// upper-level references (all but the last) when one is configured. It is
+// shared by the serial and scheduled walk paths; the two reference-issue
+// strategies are inlined (rather than passed as a closure) so the per-walk
+// hot path stays allocation-free.
+func (m *MMU) walkPTEs(cur engine.Cycle, tr vm.Translation, scheduled bool) engine.Cycle {
+	pas := tr.PAs()
+	last := len(pas) - 1
+	for i, pa := range pas {
 		if m.pwc != nil && i < last {
 			if m.pwc.Lookup(pa) {
 				m.st.PWCHits.Inc()
@@ -85,7 +89,30 @@ func (m *MMU) walkPTEs(cur engine.Cycle, tr vm.Translation, issue func(engine.Cy
 			}
 			m.pwc.Insert(pa)
 		}
-		cur = issue(cur, pa)
+		if scheduled {
+			if avail, ok := m.reuse[pa]; ok {
+				// An in-flight or just-completed walk already fetched this
+				// exact PTE; the comparator tree forwards it.
+				m.st.WalkRefsCoalesced.Inc()
+				if avail > cur {
+					cur = avail
+				}
+				continue
+			}
+			// One reference issues per cycle through the walker's port.
+			if m.issuePort > cur {
+				cur = m.issuePort
+			}
+			m.issuePort = cur + 1
+			m.st.WalkRefs.Inc()
+			done, _ := m.sys.Access(cur, pa, mem.ClassWalk)
+			m.reuse[pa] = done
+			cur = done
+		} else {
+			m.st.WalkRefs.Inc()
+			done, _ := m.sys.Access(cur, pa, mem.ClassWalk)
+			cur = done
+		}
 	}
 	return cur
 }

@@ -37,8 +37,18 @@ func NewResource(ports int) *Resource {
 func (r *Resource) Ports() int { return len(r.ports) }
 
 // Acquire reserves the earliest-available port at or after cycle now for
-// busy cycles, returning the cycle at which service starts.
+// busy cycles, returning the cycle at which service starts. Single-port
+// resources — TLB port groups and walker issue ports in the common
+// configurations — skip the port scan entirely.
 func (r *Resource) Acquire(now Cycle, busy Cycle) Cycle {
+	if len(r.ports) == 1 {
+		start := r.ports[0]
+		if start < now {
+			start = now
+		}
+		r.ports[0] = start + busy
+		return start
+	}
 	best := 0
 	for i := 1; i < len(r.ports); i++ {
 		if r.ports[i] < r.ports[best] {

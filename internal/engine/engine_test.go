@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 )
@@ -137,5 +138,37 @@ func TestZipfSkew(t *testing.T) {
 	// The head must not be everything either.
 	if counts[0] > 50000 {
 		t.Fatalf("rank0 hoards %d draws", counts[0])
+	}
+}
+
+// TestAcquireSinglePortMatchesScan pins the single-port fast path to the
+// generic scan: both must serialise back-to-back requests identically.
+func TestAcquireSinglePortMatchesScan(t *testing.T) {
+	one := NewResource(1)
+	two := NewResource(2)
+	// Drive the 2-port resource so only port 0 is ever chosen, mirroring
+	// the 1-port case: pre-busy port 1 far into the future.
+	two.ports[1] = 1 << 40
+	times := []Cycle{0, 0, 3, 3, 10, 11, 11, 100}
+	for _, now := range times {
+		a := one.Acquire(now, 2)
+		b := two.Acquire(now, 2)
+		if a != b {
+			t.Fatalf("Acquire(%d): 1-port=%d generic=%d", now, a, b)
+		}
+	}
+}
+
+// BenchmarkResourceAcquire measures the Acquire hot path; the 1-port case
+// is the one every TLB lookup takes (config.MMU.Ports is 1 in the paper's
+// configurations).
+func BenchmarkResourceAcquire(b *testing.B) {
+	for _, ports := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("ports=%d", ports), func(b *testing.B) {
+			r := NewResource(ports)
+			for i := 0; i < b.N; i++ {
+				r.Acquire(Cycle(i), 1)
+			}
+		})
 	}
 }

@@ -7,10 +7,17 @@ package engine
 // blocking earlier windows — essential in this simulator because memory
 // accesses are issued analytically at their (possibly future) start times,
 // not in global time order.
+//
+// Bookkeeping is a dense slice indexed from a sliding base window rather
+// than a map: Acquire sits on the per-memory-instruction hot path, and the
+// window population between prunes is small (the ~16k-cycle prune cadence
+// in GPU.Run bounds it to a few hundred windows), so the slice is both
+// faster and allocation-free in steady state.
 type SlottedResource struct {
 	window   uint64
-	capacity int // busy-cycles available per window
-	used     map[uint64]int
+	capacity int    // busy-cycles available per window
+	base     uint64 // window index of used[0]
+	used     []int
 	floor    uint64 // windows below this have been pruned (treated as full history)
 }
 
@@ -24,7 +31,6 @@ func NewSlottedResource(ports int, window uint64) *SlottedResource {
 	return &SlottedResource{
 		window:   window,
 		capacity: ports * int(window),
-		used:     make(map[uint64]int),
 	}
 }
 
@@ -40,27 +46,32 @@ func (s *SlottedResource) Acquire(start Cycle, busy int) Cycle {
 	if w < s.floor {
 		w = s.floor
 	}
-	// Find the first window with any room.
-	for s.used[w] >= s.capacity {
-		w++
+	// Find the first window with any room. Windows past the tracked range
+	// are untouched and therefore free.
+	i := int(w - s.base)
+	for i < len(s.used) && s.used[i] >= s.capacity {
+		i++
 	}
-	begin := Cycle(w * s.window)
+	begin := Cycle((s.base + uint64(i)) * s.window)
 	if begin < start {
 		begin = start
 	}
 	// Consume, spilling forward as needed.
 	remaining := busy
 	for remaining > 0 {
-		room := s.capacity - s.used[w]
+		for i >= len(s.used) {
+			s.used = append(s.used, 0)
+		}
+		room := s.capacity - s.used[i]
 		if room > remaining {
 			room = remaining
 		}
 		if room > 0 {
-			s.used[w] += room
+			s.used[i] += room
 			remaining -= room
 		}
 		if remaining > 0 {
-			w++
+			i++
 		}
 	}
 	return begin
@@ -74,11 +85,13 @@ func (s *SlottedResource) PruneBefore(c Cycle) {
 	if limit <= s.floor {
 		return
 	}
-	for w := range s.used {
-		if w < limit {
-			delete(s.used, w)
-		}
+	if drop := limit - s.base; drop >= uint64(len(s.used)) {
+		s.used = s.used[:0]
+	} else {
+		n := copy(s.used, s.used[drop:])
+		s.used = s.used[:n]
 	}
+	s.base = limit
 	s.floor = limit
 }
 
@@ -91,7 +104,9 @@ func (s *SlottedResource) Utilization(from, to Cycle) float64 {
 	}
 	var used int
 	for w := lo; w < hi; w++ {
-		used += s.used[w]
+		if w >= s.base && w-s.base < uint64(len(s.used)) {
+			used += s.used[w-s.base]
+		}
 	}
 	return float64(used) / float64(int(hi-lo)*s.capacity)
 }

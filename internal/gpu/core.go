@@ -26,6 +26,36 @@ type Core struct {
 	lastIssued  *Warp
 	pendingIdle bool
 	nextIssue   engine.Cycle // issue stage free at this cycle
+
+	// wakeAt is the earliest cycle at which a real tick can do anything the
+	// last real tick could not: the issue stage freeing (after an issue) or
+	// the earliest warp/walk event (after a no-issue tick). While
+	// now < wakeAt the core's state is frozen — warps only change through
+	// the core's own ticks — so Run skips the full tick and instead emulates
+	// its return value with a cheap warp scan bounded by sleepCap (see
+	// DESIGN.md "Performance model" for the exactness argument). A tick that
+	// was blocked by the MMU memory gate sets wakeAt = now: gated issue
+	// attempts observe per-candidate statistics every cycle the core is
+	// polled, so those ticks must really run. CCWS-family schedulers decay
+	// their locality scores on a wall-clock cadence, which makes their
+	// behaviour tick-cadence sensitive — those cores set skippable=false
+	// and are ticked every global step, exactly as before.
+	wakeAt    engine.Cycle
+	sleepCap  engine.Cycle
+	skippable bool
+
+	// Per-core scratch buffers, reused across instructions so steady-state
+	// execution performs no heap allocation. Owned by this core only; never
+	// shared across cores (see DESIGN.md "Performance model").
+	scratch memScratch
+	warpBuf []*Warp
+	exitBuf []int32
+
+	// liveDirty marks the cached warpBuf stale. The live-warp list only
+	// changes when a warp dies (WDone), TBC compaction appends dynamic
+	// warps, or a block is dispatched/retired — every such site sets this
+	// flag, so the common tick reuses the previous scan.
+	liveDirty bool
 }
 
 func newCore(id int, g *GPU) *Core {
@@ -48,6 +78,9 @@ func newCore(id int, g *GPU) *Core {
 		c.cpm = core.NewCPM(cfg.WarpsPerCore, cfg.TBC.CPMBits, cfg.TBC.CPMFlushPeriod)
 		c.mmu.AttachCPM(c.cpm)
 	}
+	c.skippable = !(c.sched.ccwsFamily() && cfg.Sched.DecayPeriod > 0)
+	c.scratch.words = (cfg.WarpsPerCore + 63) / 64
+	c.warpBuf = make([]*Warp, 0, cfg.WarpsPerCore)
 	return c
 }
 
@@ -56,6 +89,9 @@ func (c *Core) reset() {
 	c.rrPtr = 0
 	c.lastIssued = nil
 	c.nextIssue = 0
+	c.wakeAt = 0
+	c.sleepCap = 0
+	c.liveDirty = true
 	c.l1.Flush()
 	c.mmu.Shootdown()
 	for i := range c.l1MSHRs {
@@ -80,17 +116,23 @@ func (c *Core) capacityBlocks() int {
 	return n
 }
 
+// slotUsed reports whether a resident block occupies residency slot i.
+func (c *Core) slotUsed(i int) bool {
+	for _, b := range c.blocks {
+		if b.slotIdx == i {
+			return true
+		}
+	}
+	return false
+}
+
 // fillBlocks dispatches pending grid blocks onto free block slots.
 func (c *Core) fillBlocks() {
 	capa := c.capacityBlocks()
-	used := make(map[int]bool)
-	for _, b := range c.blocks {
-		used[b.slotIdx] = true
-	}
 	for len(c.blocks) < capa && c.g.nextBlock < c.g.launch.Grid {
 		slot := -1
 		for i := 0; i < capa; i++ {
-			if !used[i] {
+			if !c.slotUsed(i) {
 				slot = i
 				break
 			}
@@ -98,11 +140,11 @@ func (c *Core) fillBlocks() {
 		if slot < 0 {
 			break
 		}
-		used[slot] = true
 		b := newBlock(c, c.g.nextBlock, slot)
 		c.g.nextBlock++
 		c.g.liveBlocks++
 		c.blocks = append(c.blocks, b)
+		c.liveDirty = true
 	}
 }
 
@@ -114,6 +156,7 @@ func (c *Core) retireBlock(b *Block) {
 			break
 		}
 	}
+	c.liveDirty = true
 	c.g.liveBlocks--
 	c.g.emit(Event{Kind: EvBlockEnd, Core: int16(c.id), Block: int32(b.id), Warp: -1, A: uint64(b.id)})
 	c.fillBlocks()
@@ -144,11 +187,16 @@ func (c *Core) tick(now engine.Cycle) (issuedAny bool, next engine.Cycle) {
 		}
 	}
 
-	warps := c.liveWarps(make([]*Warp, 0, 64))
+	if c.liveDirty {
+		c.warpBuf = c.liveWarps(c.warpBuf[:0])
+		c.liveDirty = false
+	}
+	warps := c.warpBuf
 	if len(warps) == 0 {
 		// Blocks whose warps all finished retire in stepExit; reaching
 		// here with live blocks but no warps means TBC bookkeeping has
 		// pending work next maintain round.
+		c.wakeAt = now + 1
 		return false, now + 1
 	}
 
@@ -161,6 +209,7 @@ func (c *Core) tick(now engine.Cycle) (issuedAny bool, next engine.Cycle) {
 				next = w.readyAt
 			}
 		}
+		c.wakeAt, c.sleepCap = c.nextIssue, c.nextIssue
 		return false, next
 	}
 
@@ -186,6 +235,7 @@ func (c *Core) tick(now engine.Cycle) (issuedAny bool, next engine.Cycle) {
 	if issued > 0 {
 		c.sched.afterIssue()
 		c.nextIssue = now + engine.Cycle(c.g.cfg.IssuePeriod())
+		c.wakeAt, c.sleepCap = c.nextIssue, c.nextIssue
 		return true, c.nextIssue
 	}
 
@@ -200,6 +250,11 @@ func (c *Core) tick(now engine.Cycle) (issuedAny bool, next engine.Cycle) {
 		if ev := c.mmu.NextEvent(now); ev != 0 && ev < next {
 			next = ev
 		}
+		// Gated issue attempts observe per-candidate statistics, so the
+		// core must really tick at every global step while blocked.
+		c.wakeAt = now
+	} else {
+		c.wakeAt, c.sleepCap = next, noEvent
 	}
 	if next == noEvent {
 		// All warps waiting on barriers/TBC with no timer: the releasing
@@ -208,6 +263,7 @@ func (c *Core) tick(now engine.Cycle) (issuedAny bool, next engine.Cycle) {
 		// deadlocked; surface that via noEvent so Run can diagnose.
 		for _, w := range warps {
 			if w.state == WReady {
+				c.wakeAt = now + 1
 				return false, now + 1
 			}
 		}

@@ -1,6 +1,11 @@
 package gpu
 
 import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"gpummu/internal/config"
@@ -59,6 +64,90 @@ func TestDivergenceModesFunctionallyEquivalent(t *testing.T) {
 		if prints[0] != prints[1] || prints[1] != prints[2] {
 			t.Fatalf("%s: divergence modes computed different results: %x", name, prints)
 		}
+	}
+}
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden stats snapshots in testdata/")
+
+// TestGoldenStatsSnapshot pins the complete stats.Sim output — cycle counts,
+// every counter, and full histogram contents — of representative tiny runs
+// against committed golden files. Hot-path optimisations (event skipping,
+// scratch buffers, allocation-free walks) must be cycle-exact: if any of
+// them changes timing, this test fails byte-for-byte. Regenerate ONLY for
+// intentional timing-model changes, with
+//
+//	go test ./internal/gpu -run TestGoldenStatsSnapshot -update-golden
+func TestGoldenStatsSnapshot(t *testing.T) {
+	cases := []struct {
+		name     string
+		workload string
+		mutate   func(*config.Hardware)
+	}{
+		// Divergent workload through TBC compaction + the augmented
+		// (non-blocking, PTW-scheduled) MMU: exercises multi-warp page
+		// attribution and the cache-overlap path.
+		{"bfs_tbc_augmented", "bfs", func(c *config.Hardware) {
+			c.MMU = config.AugmentedMMU()
+			c.TBC.Mode = config.DivTBC
+		}},
+		// Divergent workload on the blocking naive MMU: exercises the
+		// memory-gate / MMU.NextEvent fast-forward horizon.
+		{"bfs_naive_blocking", "bfs", func(c *config.Hardware) {
+			c.MMU = config.NaiveMMU(3)
+		}},
+		// CCWS decay is tick-cadence sensitive, so CCWS cores are exempt
+		// from event skipping; pin that path too.
+		{"bfs_ccws_naive", "bfs", func(c *config.Hardware) {
+			c.MMU = config.NaiveMMU(4)
+			c.Sched.Policy = config.SchedCCWS
+		}},
+		// Regular (coalesced) workload under the paper's recommended design.
+		{"kmeans_augmented", "kmeans", func(c *config.Hardware) {
+			c.MMU = config.AugmentedMMU()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := config.SmallTest()
+			tc.mutate(&cfg)
+			w, err := workloads.Build(tc.workload, workloads.SizeTiny, cfg.PageShift, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := &stats.Sim{}
+			g, err := New(cfg, w.AS, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g.MaxCycles = 50_000_000
+			if _, err := g.Run(w.Launch); err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(st, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			path := filepath.Join("testdata", "golden_"+tc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update-golden): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: stats snapshot diverged from golden file %s —\n"+
+					"an optimisation changed simulated timing.\ngot:\n%s\nwant:\n%s",
+					tc.name, path, got, want)
+			}
+		})
 	}
 }
 

@@ -169,20 +169,14 @@ func (c *Core) execBranch(now engine.Cycle, w *Warp, in *kernels.Instr) {
 	}
 
 	lanes := w.curLanes()
-	width := len(lanes)
-	taken := make([]int32, width)
-	fall := make([]int32, width)
 	nT, nF := 0, 0
-	for i, tid := range lanes {
-		taken[i], fall[i] = noLane, noLane
+	for _, tid := range lanes {
 		if tid == noLane {
 			continue
 		}
 		if branchTaken(&b.threads[tid], in) {
-			taken[i] = tid
 			nT++
 		} else {
-			fall[i] = tid
 			nF++
 		}
 	}
@@ -193,9 +187,25 @@ func (c *Core) execBranch(now engine.Cycle, w *Warp, in *kernels.Instr) {
 	case nT == 0:
 		w.setPC(pc + 1)
 	default:
-		// Diverged: the current context becomes the reconvergence
-		// continuation; push the fall-through side, then the taken side
-		// (executed first).
+		// Diverged: only now materialise the two lane sets — they are owned
+		// by the pushed stack entries, so they must be freshly allocated,
+		// but uniform branches (the common case) never pay for them.
+		width := len(lanes)
+		taken := make([]int32, width)
+		fall := make([]int32, width)
+		for i, tid := range lanes {
+			taken[i], fall[i] = noLane, noLane
+			if tid == noLane {
+				continue
+			}
+			if branchTaken(&b.threads[tid], in) {
+				taken[i] = tid
+			} else {
+				fall[i] = tid
+			}
+		}
+		// The current context becomes the reconvergence continuation; push
+		// the fall-through side, then the taken side (executed first).
 		top := w.top()
 		top.pc = in.Reconv
 		if pc+1 != in.Reconv {
@@ -229,11 +239,13 @@ func (c *Core) execBarrier(now engine.Cycle, w *Warp) {
 	}
 }
 
-// execExit terminates all active lanes of the warp.
+// execExit terminates all active lanes of the warp. The lane list is
+// snapshotted into the core's scratch buffer because removeThread mutates
+// it in place.
 func (c *Core) execExit(now engine.Cycle, w *Warp) {
 	b := w.block
-	lanes := append([]int32(nil), w.curLanes()...)
-	for _, tid := range lanes {
+	c.exitBuf = append(c.exitBuf[:0], w.curLanes()...)
+	for _, tid := range c.exitBuf {
 		if tid == noLane {
 			continue
 		}

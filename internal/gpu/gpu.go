@@ -126,7 +126,44 @@ func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 		next := noEvent
 		anyLive := false
 		for _, c := range g.cores {
+			if len(c.blocks) == 0 {
+				// A blockless core can only regain blocks through its own
+				// retireBlock, so it has nothing to do until the launch ends.
+				c.pendingIdle = false
+				continue
+			}
+			if c.skippable && now < c.wakeAt {
+				// The core's warp set is frozen until wakeAt, so a real
+				// tick would be a pure no-op; emulate its return value
+				// with a bounded warp scan (the "hint" the pristine loop
+				// produced) instead of running maintain/order/step. See
+				// DESIGN.md "Performance model" for the exactness argument.
+				ev := c.sleepCap
+				anyWarp := false
+				for _, b := range c.blocks {
+					for _, w := range b.warps {
+						if w.state == WDone {
+							continue
+						}
+						anyWarp = true
+						if w.state == WReady && w.readyAt > now && w.readyAt < ev {
+							ev = w.readyAt
+						}
+					}
+				}
+				if anyWarp {
+					anyLive = true
+					c.pendingIdle = true
+					if ev < next {
+						next = ev
+					}
+					continue
+				}
+				// All warps drained with blocks still live: TBC bookkeeping
+				// is pending, which only a real tick's maintain can run.
+			}
 			issued, ev := c.tick(now)
+			// Re-check blocks: the tick may have retired the core's last one.
 			if len(c.blocks) > 0 {
 				anyLive = true
 				c.pendingIdle = !issued

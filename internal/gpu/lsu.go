@@ -9,8 +9,21 @@ import (
 
 // lineReq is one coalesced cache-line access of a warp memory instruction.
 type lineReq struct {
-	lineVA uint64 // virtual address >> lineShift
-	vpn    uint64
+	lineVA  uint64 // virtual address >> lineShift
+	pageIdx int    // index into the instruction's PageReq/PageResult slices
+}
+
+// memScratch holds execMem's per-instruction coalescing buffers. Each Core
+// owns exactly one and reuses it across instructions, so the steady-state
+// memory path performs no heap allocation. The buffers must never be shared
+// across cores (see DESIGN.md "Performance model").
+type memScratch struct {
+	lines    []lineReq
+	reqs     []core.PageReq
+	results  []core.PageResult
+	warpSets [][]int  // per-page Warps backing arrays, parallel to reqs
+	warpBits []uint64 // per-page origWarp bitsets, words uint64s per page
+	words    int      // bitset words per page: ceil(WarpsPerCore/64)
 }
 
 // execMem executes one warp-level memory instruction: coalescing, parallel
@@ -30,38 +43,12 @@ func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
 	pageShift := c.g.cfg.PageShift
 	isStore := in.Kind == kernels.KindStore
 
-	// Coalesce active lanes into unique lines and unique pages, and
-	// perform the functional access.
-	var lines []lineReq
-	seenLine := map[uint64]bool{}
-	pageWarps := map[uint64][]int{}
-	var pageOrder []uint64
-	for _, tid := range w.curLanes() {
-		if tid == noLane {
-			continue
-		}
-		t := &b.threads[tid]
-		va := t.regs[in.A] + uint64(in.Imm)
-		c.funcAccess(t, va, in, isStore)
-
-		lv := va >> lineShift
-		if !seenLine[lv] {
-			seenLine[lv] = true
-			lines = append(lines, lineReq{lineVA: lv, vpn: va >> pageShift})
-		}
-		vpn := va >> pageShift
-		ws, seen := pageWarps[vpn]
-		if !seen {
-			pageOrder = append(pageOrder, vpn)
-		}
-		if !containsInt(ws, t.origWarp) {
-			pageWarps[vpn] = append(ws, t.origWarp)
-		}
-	}
+	c.coalesceMem(w, in, isStore)
+	sc := &c.scratch
 	st.MemInstrs.Inc()
-	st.PageDivergence.Observe(len(pageOrder))
-	st.LineDivergence.Observe(len(lines))
-	if len(lines) == 0 {
+	st.PageDivergence.Observe(len(sc.reqs))
+	st.LineDivergence.Observe(len(sc.lines))
+	if len(sc.lines) == 0 {
 		// All lanes were inactive (can happen transiently around exits).
 		w.readyAt = now + 1
 		c.advance(now, w, w.curPC()+1)
@@ -69,16 +56,11 @@ func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
 	}
 
 	// Address translation for each distinct page.
-	reqs := make([]core.PageReq, 0, len(pageOrder))
-	for _, vpn := range pageOrder {
-		reqs = append(reqs, core.PageReq{VPN: vpn, Warps: pageWarps[vpn]})
-	}
-	results := c.mmu.Lookup(now, reqs)
-	byVPN := make(map[uint64]*core.PageResult, len(results))
+	sc.results = c.mmu.LookupInto(now, sc.reqs, sc.results)
+	results := sc.results
 	maxReady := engine.Cycle(0)
 	for i := range results {
 		r := &results[i]
-		byVPN[r.VPN] = r
 		if r.ReadyAt > maxReady {
 			maxReady = r.ReadyAt
 		}
@@ -103,8 +85,8 @@ func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
 
 	// L1 (and beyond) for each distinct line.
 	done := maxReady
-	for _, lr := range lines {
-		r := byVPN[lr.vpn]
+	for _, lr := range sc.lines {
+		r := &results[lr.pageIdx]
 		start := maxReady
 		if overlap {
 			start = r.ReadyAt
@@ -154,6 +136,75 @@ func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
 	c.advance(now, w, w.curPC()+1)
 }
 
+// coalesceMem groups the warp's active lanes into distinct cache lines and
+// distinct pages — both in first-appearance order, as the hardware
+// coalescer's comparator tree produces them — attributes each page to the
+// original warps of its requesting threads (one entry per origWarp, via a
+// per-page bitset), and performs the functional access for each lane.
+// Results land in c.scratch: lines, and reqs whose Warps alias warpSets.
+func (c *Core) coalesceMem(w *Warp, in *kernels.Instr, isStore bool) {
+	b := w.block
+	lineShift := c.g.sys.LineShift()
+	pageShift := c.g.cfg.PageShift
+	sc := &c.scratch
+	sc.lines = sc.lines[:0]
+	sc.reqs = sc.reqs[:0]
+	for _, tid := range w.curLanes() {
+		if tid == noLane {
+			continue
+		}
+		t := &b.threads[tid]
+		va := t.regs[in.A] + uint64(in.Imm)
+		c.funcAccess(t, va, in, isStore)
+
+		vpn := va >> pageShift
+		pi := -1
+		for i := range sc.reqs {
+			if sc.reqs[i].VPN == vpn {
+				pi = i
+				break
+			}
+		}
+		if pi < 0 {
+			pi = len(sc.reqs)
+			sc.reqs = append(sc.reqs, core.PageReq{VPN: vpn})
+			if pi < len(sc.warpSets) {
+				sc.warpSets[pi] = sc.warpSets[pi][:0]
+			} else {
+				sc.warpSets = append(sc.warpSets, nil)
+			}
+			for len(sc.warpBits) < (pi+1)*sc.words {
+				sc.warpBits = append(sc.warpBits, 0)
+			}
+			clear(sc.warpBits[pi*sc.words : (pi+1)*sc.words])
+		}
+
+		lv := va >> lineShift
+		seen := false
+		for i := range sc.lines {
+			if sc.lines[i].lineVA == lv {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			sc.lines = append(sc.lines, lineReq{lineVA: lv, pageIdx: pi})
+		}
+
+		word := pi*sc.words + t.origWarp>>6
+		mask := uint64(1) << (uint(t.origWarp) & 63)
+		if sc.warpBits[word]&mask == 0 {
+			sc.warpBits[word] |= mask
+			sc.warpSets[pi] = append(sc.warpSets[pi], t.origWarp)
+		}
+	}
+	// Wire the Warps views only after all appends: an append may move a
+	// warpSet's backing array.
+	for i := range sc.reqs {
+		sc.reqs[i].Warps = sc.warpSets[i]
+	}
+}
+
 // funcAccess performs the functional load/store for one lane.
 func (c *Core) funcAccess(t *Thread, va uint64, in *kernels.Instr, isStore bool) {
 	pa := c.g.tr.Translate(va)
@@ -180,15 +231,6 @@ func (c *Core) funcAccess(t *Thread, va uint64, in *kernels.Instr, isStore bool)
 		v = m.Read64(pa)
 	}
 	t.regs[in.Dst] = v
-}
-
-func containsInt(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
 }
 
 func max(a, b int) int {

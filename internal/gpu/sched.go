@@ -238,11 +238,9 @@ func (s *sched) order(now engine.Cycle, warps []*Warp) []*Warp {
 			}
 		}
 	default: // LRR and the CCWS family's underlying rotation
-		n := len(warps)
-		start := s.c.rrPtr % max(n, 1)
-		for i := 0; i < n; i++ {
-			out = append(out, warps[(start+i)%n])
-		}
+		start := s.c.rrPtr % max(len(warps), 1)
+		out = append(out, warps[start:]...)
+		out = append(out, warps[:start]...)
 	}
 	s.orderBuf = out
 	return out

@@ -190,6 +190,7 @@ func (t *tbcState) resume(now engine.Cycle, e *tbcEntry) {
 	}
 	e.warps = append(e.warps, warps...)
 	t.b.warps = append(t.b.warps, warps...)
+	t.b.core.liveDirty = true
 	e.resumeThreads = nil
 }
 
@@ -201,6 +202,7 @@ func (t *tbcState) pushEntry(now engine.Cycle, threads []int32, pc, rpc int32) {
 	}
 	e.warps = warps
 	t.b.warps = append(t.b.warps, warps...)
+	t.b.core.liveDirty = true
 	t.stack = append(t.stack, e)
 }
 
@@ -289,4 +291,5 @@ func (b *Block) pruneWarps() {
 		}
 	}
 	b.warps = live
+	b.core.liveDirty = true
 }

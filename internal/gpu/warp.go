@@ -93,6 +93,7 @@ func (w *Warp) reconverge() {
 		return
 	}
 	w.state = WDone
+	w.block.core.liveDirty = true
 }
 
 // removeThread erases a thread from every context of the warp (thread

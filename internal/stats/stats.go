@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -98,6 +99,35 @@ func (h *Hist) Bucket(v int) uint64 {
 		return 0
 	}
 	return h.buckets[v]
+}
+
+// histJSON is the wire form of a Hist: every internal field is exported so
+// a marshalled histogram pins the complete distribution, not just summary
+// moments. The golden-snapshot tests in internal/gpu rely on this to detect
+// any behavioural drift a hot-path rewrite might introduce.
+type histJSON struct {
+	Buckets []uint64 `json:"buckets"`
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Max     int      `json:"max"`
+}
+
+// MarshalJSON encodes the full histogram state.
+func (h Hist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histJSON{Buckets: h.buckets, Count: h.count, Sum: h.sum, Max: h.max})
+}
+
+// UnmarshalJSON restores histogram state written by MarshalJSON.
+func (h *Hist) UnmarshalJSON(data []byte) error {
+	var w histJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	h.buckets = w.Buckets
+	h.count = w.Count
+	h.sum = w.Sum
+	h.max = w.Max
+	return nil
 }
 
 // Percentile returns the smallest value v such that at least p (0..1) of

@@ -1,0 +1,51 @@
+package vm
+
+import "testing"
+
+// TestWalkAllocFree pins the allocation-free functional walk: Walk fills a
+// value-embedded LevelPAs array, so page table walks — executed once per
+// TLB miss plus once per memoised functional translation — must not touch
+// the heap.
+func TestWalkAllocFree(t *testing.T) {
+	mem := NewPhysMem()
+	alloc := NewFrameAllocator(1 << 20)
+	pt := NewPageTable(mem, alloc)
+	va := uint64(0x5C00_0000_0000)
+	if err := pt.Map4K(va, alloc.Alloc4K()); err != nil {
+		t.Fatal(err)
+	}
+	// Warm: materialise any lazily created physical pages.
+	if _, err := pt.Walk(va); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if _, err := pt.Walk(va); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("PageTable.Walk allocates %.1f objects per walk, want 0", avg)
+	}
+}
+
+// TestTranslatorHitAllocFree pins the memoised translation hit path used by
+// every functional load/store in the simulator.
+func TestTranslatorHitAllocFree(t *testing.T) {
+	mem := NewPhysMem()
+	alloc := NewFrameAllocator(1 << 20)
+	pt := NewPageTable(mem, alloc)
+	va := uint64(0x5C00_0000_0000)
+	if err := pt.Map4K(va, alloc.Alloc4K()); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTranslator(pt, PageShift4K)
+	tr.Lookup(va) // prime the cache
+	avg := testing.AllocsPerRun(200, func() {
+		if got := tr.Translate(va + 8); got == 0 {
+			t.Fatal("unexpected zero translation")
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Translator hit allocates %.1f objects per lookup, want 0", avg)
+	}
+}

@@ -48,13 +48,23 @@ func VPNIndex(va uint64, l int) uint64 {
 }
 
 // Translation is the result of a completed page table walk.
+//
+// LevelPAs is a value-embedded fixed array rather than a slice so that Walk
+// never heap-allocates: translations are created on every functional walk
+// and memoised by value in the Translator cache, and the timing-model
+// walkers in internal/core replay them per TLB miss. Only the first Levels
+// entries are meaningful — use PAs() to iterate.
 type Translation struct {
 	VA        uint64 // the translated virtual address
 	PA        uint64 // full physical address (page base | offset)
 	PageShift uint   // 12 for 4 KB, 21 for 2 MB
 	Levels    int    // memory references the walk performed (4 or 3)
-	LevelPAs  []uint64
+	LevelPAs  [NumLevels]uint64
 }
+
+// PAs returns the physical addresses of the PTEs the walk read, in walk
+// order (PML4 first). The slice aliases the Translation's embedded array.
+func (t *Translation) PAs() []uint64 { return t.LevelPAs[:t.Levels] }
 
 // PageBase returns the physical base address of the containing page.
 func (t Translation) PageBase() uint64 {
@@ -142,25 +152,24 @@ func (pt *PageTable) Map2M(va, pa uint64) error {
 // hardware walker does; internal/core issues the same loads through the
 // timing model.
 func (pt *PageTable) Walk(va uint64) (Translation, error) {
-	t := Translation{VA: va, LevelPAs: make([]uint64, 0, NumLevels)}
+	t := Translation{VA: va}
 	base := pt.cr3
 	for l := levelPML4; l < NumLevels; l++ {
 		ep := entryPA(base, va, l)
-		t.LevelPAs = append(t.LevelPAs, ep)
+		t.LevelPAs[l] = ep
+		t.Levels = l + 1
 		e := pt.mem.Read64(ep)
 		if e&pteFlagPresent == 0 {
 			return t, fmt.Errorf("vm: page fault at va %#x (level %s)", va, LevelName(l))
 		}
 		if l == levelPD && e&pteFlagPS != 0 {
 			t.PageShift = PageShift2M
-			t.Levels = 3
 			t.PA = (e & pteAddrMask &^ (PageSize2M - 1)) | (va & (PageSize2M - 1))
 			return t, nil
 		}
 		base = e & pteAddrMask
 		if l == levelPT {
 			t.PageShift = PageShift4K
-			t.Levels = 4
 			t.PA = base | (va & (PageSize4K - 1))
 			return t, nil
 		}

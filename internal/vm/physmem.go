@@ -9,7 +9,10 @@
 // concurrent walks, and walk cache hits are all real, not modelled.
 package vm
 
-import "fmt"
+import (
+	"encoding/binary"
+	"fmt"
+)
 
 // PageShift4K and PageShift2M are the two translation granularities the
 // paper studies (4 KB base pages, 2 MB large pages in section 9).
@@ -58,11 +61,7 @@ func (m *PhysMem) Read64(pa uint64) uint64 {
 		return 0
 	}
 	off := pa & (PageSize4K - 1)
-	var v uint64
-	for i := 7; i >= 0; i-- {
-		v = v<<8 | uint64(p[off+uint64(i)])
-	}
-	return v
+	return binary.LittleEndian.Uint64(p[off : off+8])
 }
 
 // Write64 stores a little-endian 64-bit value.
@@ -72,10 +71,7 @@ func (m *PhysMem) Write64(pa, val uint64) {
 	}
 	p := m.page(pa, true)
 	off := pa & (PageSize4K - 1)
-	for i := 0; i < 8; i++ {
-		p[off+uint64(i)] = byte(val)
-		val >>= 8
-	}
+	binary.LittleEndian.PutUint64(p[off:off+8], val)
 }
 
 // Read32 loads a little-endian 32-bit value.
@@ -88,11 +84,7 @@ func (m *PhysMem) Read32(pa uint64) uint32 {
 		return 0
 	}
 	off := pa & (PageSize4K - 1)
-	var v uint32
-	for i := 3; i >= 0; i-- {
-		v = v<<8 | uint32(p[off+uint64(i)])
-	}
-	return v
+	return binary.LittleEndian.Uint32(p[off : off+4])
 }
 
 // Write32 stores a little-endian 32-bit value.
@@ -102,10 +94,7 @@ func (m *PhysMem) Write32(pa uint64, val uint32) {
 	}
 	p := m.page(pa, true)
 	off := pa & (PageSize4K - 1)
-	for i := 0; i < 4; i++ {
-		p[off+uint64(i)] = byte(val)
-		val >>= 8
-	}
+	binary.LittleEndian.PutUint32(p[off:off+4], val)
 }
 
 // ReadU8 loads one byte.

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Measures simulator throughput on the tiny figure matrix and appends an
+# entry to BENCH_hotpath.json so the performance trajectory is visible
+# across PRs.
+#
+# Usage: tools/bench.sh [label]     (label defaults to the short git HEAD)
+#
+# Metrics recorded per entry:
+#   total_fig_seconds      wall time summed over every BenchmarkFig* figure
+#                          benchmark at -benchtime 1x (the tiny figure matrix)
+#   sim_cycles_per_second  simulated cycles per wall-second, from
+#                          BenchmarkSimulatorThroughput's sim_cycles metric
+#
+# Entries are append-only: compare the newest "after" entry against the
+# older "before" entries to see the speedup a hot-path PR delivered.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
+out_json="BENCH_hotpath.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+echo "bench: running tiny figure matrix (go test -bench ...)" >&2
+go test -run '^$' -bench 'BenchmarkFig|BenchmarkSimulatorThroughput' \
+	-benchtime 1x -timeout 60m . | tee "$raw" >&2
+
+entry="$(awk -v label="$label" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^BenchmarkFig/ {
+	# Format: BenchmarkFigNN...-P  N  <ns> ns/op  [<val> <metric>]...
+	for (i = 1; i <= NF; i++) if ($i == "ns/op") fig_ns += $(i-1)
+}
+/^BenchmarkSimulatorThroughput/ {
+	for (i = 1; i <= NF; i++) {
+		if ($i == "ns/op") tp_ns = $(i-1)
+		if ($i == "sim_cycles") tp_cycles = $(i-1)
+	}
+}
+END {
+	cps = (tp_ns > 0) ? tp_cycles / (tp_ns / 1e9) : 0
+	printf "  {\n"
+	printf "    \"label\": \"%s\",\n", label
+	printf "    \"date\": \"%s\",\n", date
+	printf "    \"total_fig_seconds\": %.3f,\n", fig_ns / 1e9
+	printf "    \"sim_cycles_per_second\": %.0f\n", cps
+	printf "  }"
+}' "$raw")"
+
+if [[ -s "$out_json" ]]; then
+	# Append to the existing JSON array: strip the trailing "]" line.
+	sed '$d' "$out_json" >"$out_json.tmp"
+	printf ',\n%s\n]\n' "$entry" >>"$out_json.tmp"
+	mv "$out_json.tmp" "$out_json"
+else
+	printf '[\n%s\n]\n' "$entry" >"$out_json"
+fi
+
+echo "bench: recorded entry '$label' in $out_json" >&2
+tail -n 8 "$out_json" >&2

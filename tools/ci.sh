@@ -26,4 +26,10 @@ go test "${pkgs[@]}"
 echo "== go test -race ${pkgs[*]}"
 go test -race "${pkgs[@]}"
 
+# Bench smoke: one iteration of the figure-2 benchmark proves the hot path
+# still runs end to end under the benchmark harness (no timing asserted here;
+# tools/bench.sh records real numbers into BENCH_hotpath.json).
+echo "== bench smoke (BenchmarkFig02 x1)"
+go test -bench BenchmarkFig02 -benchtime 1x -run '^$' .
+
 echo "ci: ok"
