@@ -43,6 +43,7 @@ func main() {
 		list     = flag.Bool("list", false, "list figures and exit")
 		verbose  = flag.Bool("v", false, "log every simulation run to stderr")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
+		par      = flag.Int("par", 1, "goroutines ticking cores inside each simulation (output is identical for any value)")
 		machine  = flag.String("machine", "baseline", "machine preset: baseline|small")
 		coresOvr = flag.Int("cores", 0, "override shader core count (0 = preset)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -86,11 +87,12 @@ func main() {
 	}
 
 	opt := experiments.Options{
-		Size:    sz,
-		Seed:    *seed,
-		Machine: machineFn,
-		Workers: *workers,
-		Verbose: *verbose,
+		Size:        sz,
+		Seed:        *seed,
+		Machine:     machineFn,
+		Workers:     *workers,
+		Verbose:     *verbose,
+		CoreWorkers: *par,
 	}
 	if *wl != "" {
 		opt.Workload = strings.Split(*wl, ",")

@@ -52,6 +52,7 @@ func main() {
 		pwc      = flag.Int("pwc", 0, "page walk cache entries per core (0 = off; extension)")
 		cores    = flag.Int("cores", 0, "override core count (0 = 30)")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers when running several workloads")
+		par      = flag.Int("par", 1, "goroutines ticking cores inside one simulation (output is identical for any value)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		asJSON   = flag.Bool("json", false, "emit statistics as JSON")
 		trace    = flag.Int("trace", 0, "dump the last N simulation events to stderr (single workload only)")
@@ -184,6 +185,7 @@ func main() {
 		if err != nil {
 			return outcome{err: err}
 		}
+		g.Workers = *par
 		var ring *gpu.RingTracer
 		if *trace > 0 {
 			ring = gpu.NewRingTracer(*trace)

@@ -168,6 +168,36 @@ func (m *MMU) Lookup(now engine.Cycle, reqs []PageReq) []PageResult {
 // is grown if too small and returned resliced to len(reqs). The LSU passes
 // its per-core scratch buffer so steady-state translation allocates nothing.
 func (m *MMU) LookupInto(now engine.Cycle, reqs []PageReq, dst []PageResult) []PageResult {
+	res, ls := m.LookupCompute(now, reqs, dst)
+	m.LookupCommit(now, reqs, res, ls)
+	return res
+}
+
+// LookupState records where a two-phase translation suspended: the index of
+// the first request LookupCompute did not finish, plus the TLB port cycle it
+// had already charged for that request. Resume == len(reqs) means the whole
+// lookup completed during the compute phase.
+type LookupState struct {
+	Resume   int
+	lookupAt engine.Cycle
+}
+
+// Done reports whether the lookup completed entirely in the compute phase.
+func (ls LookupState) Done(reqs []PageReq) bool { return ls.Resume >= len(reqs) }
+
+// LookupCompute runs the portion of a translation that touches only
+// core-private state (TLB probe/recency, TLB ports, per-core stat shard,
+// CPM) and therefore may execute concurrently with other cores' compute
+// phases. It processes requests in order until the first TLB miss: the miss
+// path walks the page table through the shared memory system and probes the
+// shared L2 TLB, so everything from that request onward is left for
+// LookupCommit. Suspending at the first miss (rather than recording
+// placeholder work) is required for exactness — a later request's MSHR
+// delay, merge, or even hit/LRU depth can depend on an earlier miss's fill.
+//
+// The decision "request i misses" is stable across the suspension: only this
+// core fills its own TLB, and it is suspended until its commit turn.
+func (m *MMU) LookupCompute(now engine.Cycle, reqs []PageReq, dst []PageResult) ([]PageResult, LookupState) {
 	var res []PageResult
 	if cap(dst) >= len(reqs) {
 		res = dst[:len(reqs)]
@@ -175,86 +205,125 @@ func (m *MMU) LookupInto(now engine.Cycle, reqs []PageReq, dst []PageResult) []P
 		res = make([]PageResult, len(reqs))
 	}
 	if !m.cfg.Enabled {
+		// The functional translator's memo cache is read-only here: serial
+		// runs are single-threaded, and parallel runs prewarm it at start.
 		for i, r := range reqs {
 			tr := m.tr.Lookup(r.VPN << m.tr.PageShift())
 			res[i] = PageResult{VPN: r.VPN, PBase: tr.PageBase(), ReadyAt: now, Hit: true}
 		}
-		return res
+		return res, LookupState{Resume: len(reqs)}
 	}
 	m.prune(now)
 	if m.cpm != nil {
 		m.cpm.MaybeFlush(now)
 	}
-	for i, r := range reqs {
-		m.st.TLBAccesses.Inc()
-		lookupAt := m.ports.Acquire(now, 1)
-		warp0 := -1
-		if len(r.Warps) > 0 {
-			warp0 = r.Warps[0]
+	for i := range reqs {
+		lookupAt, hit := m.lookupHit(now, reqs[i], &res[i])
+		if !hit {
+			return res, LookupState{Resume: i, lookupAt: lookupAt}
 		}
-		if info, ok := m.tlb.Lookup(lookupAt, r.VPN, warp0); ok {
-			m.st.TLBHits.Inc()
-			if len(m.outstanding) > 0 {
-				m.st.TLBHitUnder.Inc()
-			}
-			if m.cpm != nil {
-				for _, w := range r.Warps {
-					m.cpm.OnTLBHit(w, info.History)
-				}
-			}
-			res[i] = PageResult{VPN: r.VPN, PBase: info.PBase, ReadyAt: lookupAt, Hit: true, LRUDepth: info.LRUDepth}
-			continue
-		}
-		m.st.TLBMisses.Inc()
-		tr := m.tr.Lookup(r.VPN << m.tr.PageShift())
-		var done engine.Cycle
-		merged := false
-		if d, ok := m.pending[r.VPN]; ok {
-			done = d
-			merged = true
-		} else {
-			reqAt := lookupAt
-			// MSHR exhaustion delays the walk until the oldest
-			// outstanding miss retires.
-			if len(m.outstanding) >= m.cfg.MSHRs {
-				earliest := m.outstanding[0].done
-				for _, w := range m.outstanding[1:] {
-					if w.done < earliest {
-						earliest = w.done
-					}
-				}
-				if earliest > reqAt {
-					reqAt = earliest
-				}
-			}
-			walked := true
-			if m.shared != nil {
-				if pbase, at, hit := m.shared.Probe(reqAt, r.VPN); hit {
-					if pbase != tr.PageBase() {
-						panic("core: shared TLB returned a stale translation")
-					}
-					done = at
-					walked = false
-				} else {
-					reqAt = at // walk starts after the failed probe returns
-				}
-			}
-			if walked {
-				done = m.walk(reqAt, tr)
-				if m.shared != nil {
-					m.shared.Fill(done, r.VPN, tr.PageBase())
-				}
-				m.st.Walks.Inc()
-				m.st.WalkLat.Observe(uint64(done - reqAt))
-			}
-			m.tlb.Fill(done, r.VPN, tr.PageBase(), warp0)
-			m.pending[r.VPN] = done
-			m.outstanding = append(m.outstanding, outWalk{vpn: r.VPN, done: done})
-		}
-		m.st.TLBMissLat.Observe(uint64(done - lookupAt))
-		res[i] = PageResult{VPN: r.VPN, PBase: tr.PageBase(), ReadyAt: done, Merged: merged, LRUDepth: -1}
 	}
-	return res
+	return res, LookupState{Resume: len(reqs)}
+}
+
+// LookupCommit finishes a suspended translation during the core's serial
+// commit turn: it services the miss LookupCompute stopped at (reusing the
+// port cycle already charged) and then processes the remaining requests with
+// the full hit-or-miss path, exactly as the serial LookupInto would have.
+func (m *MMU) LookupCommit(now engine.Cycle, reqs []PageReq, res []PageResult, ls LookupState) {
+	if ls.Resume >= len(reqs) {
+		return
+	}
+	m.lookupMiss(ls.lookupAt, reqs[ls.Resume], &res[ls.Resume])
+	for i := ls.Resume + 1; i < len(reqs); i++ {
+		lookupAt, hit := m.lookupHit(now, reqs[i], &res[i])
+		if !hit {
+			m.lookupMiss(lookupAt, reqs[i], &res[i])
+		}
+	}
+}
+
+func reqWarp0(r PageReq) int {
+	if len(r.Warps) > 0 {
+		return r.Warps[0]
+	}
+	return -1
+}
+
+// lookupHit charges the TLB port and probes for r, filling *out on a hit.
+// It returns the port cycle so a miss can resume from it. The miss path
+// leaves the TLB untouched (Lookup mutates recency/history only on hits).
+func (m *MMU) lookupHit(now engine.Cycle, r PageReq, out *PageResult) (engine.Cycle, bool) {
+	m.st.TLBAccesses.Inc()
+	lookupAt := m.ports.Acquire(now, 1)
+	if info, ok := m.tlb.Lookup(lookupAt, r.VPN, reqWarp0(r)); ok {
+		m.st.TLBHits.Inc()
+		if len(m.outstanding) > 0 {
+			m.st.TLBHitUnder.Inc()
+		}
+		if m.cpm != nil {
+			for _, w := range r.Warps {
+				m.cpm.OnTLBHit(w, info.History)
+			}
+		}
+		*out = PageResult{VPN: r.VPN, PBase: info.PBase, ReadyAt: lookupAt, Hit: true, LRUDepth: info.LRUDepth}
+		return lookupAt, true
+	}
+	return lookupAt, false
+}
+
+// lookupMiss services a TLB miss whose port cycle was already charged:
+// merge into a pending walk, or start a new walk (MSHR exhaustion, shared
+// L2 TLB probe, walker timing) and fill the TLB.
+func (m *MMU) lookupMiss(lookupAt engine.Cycle, r PageReq, out *PageResult) {
+	m.st.TLBMisses.Inc()
+	tr := m.tr.Lookup(r.VPN << m.tr.PageShift())
+	var done engine.Cycle
+	merged := false
+	if d, ok := m.pending[r.VPN]; ok {
+		done = d
+		merged = true
+	} else {
+		reqAt := lookupAt
+		// MSHR exhaustion delays the walk until the oldest
+		// outstanding miss retires.
+		if len(m.outstanding) >= m.cfg.MSHRs {
+			earliest := m.outstanding[0].done
+			for _, w := range m.outstanding[1:] {
+				if w.done < earliest {
+					earliest = w.done
+				}
+			}
+			if earliest > reqAt {
+				reqAt = earliest
+			}
+		}
+		walked := true
+		if m.shared != nil {
+			if pbase, at, hit := m.shared.Probe(reqAt, r.VPN); hit {
+				if pbase != tr.PageBase() {
+					panic("core: shared TLB returned a stale translation")
+				}
+				done = at
+				walked = false
+			} else {
+				reqAt = at // walk starts after the failed probe returns
+			}
+		}
+		if walked {
+			done = m.walk(reqAt, tr)
+			if m.shared != nil {
+				m.shared.Fill(done, r.VPN, tr.PageBase())
+			}
+			m.st.Walks.Inc()
+			m.st.WalkLat.Observe(uint64(done - reqAt))
+		}
+		m.tlb.Fill(done, r.VPN, tr.PageBase(), reqWarp0(r))
+		m.pending[r.VPN] = done
+		m.outstanding = append(m.outstanding, outWalk{vpn: r.VPN, done: done})
+	}
+	m.st.TLBMissLat.Observe(uint64(done - lookupAt))
+	*out = PageResult{VPN: r.VPN, PBase: tr.PageBase(), ReadyAt: done, Merged: merged, LRUDepth: -1}
 }
 
 // walk models one page table walk beginning no earlier than reqAt and

@@ -28,6 +28,11 @@ type Options struct {
 	Workers  int                    // executor goroutines; <= 0 = GOMAXPROCS
 	Verbose  bool                   // log per-run progress to Progress
 	Progress io.Writer              // progress destination; default os.Stderr
+
+	// CoreWorkers sets how many goroutines tick cores inside each single
+	// simulation (gpu.GPU.Workers, the -par flag); <= 1 means serial.
+	// Reports are byte-identical for any value.
+	CoreWorkers int
 }
 
 func (o *Options) fill() {
@@ -65,11 +70,12 @@ func New(out io.Writer, opt Options) *Harness {
 		opt: opt,
 		out: out,
 		exec: &Executor{
-			Workers:  opt.Workers,
-			Size:     opt.Size,
-			Seed:     opt.Seed,
-			Progress: opt.Progress,
-			Store:    NewResultStore(),
+			Workers:     opt.Workers,
+			Size:        opt.Size,
+			Seed:        opt.Seed,
+			Progress:    opt.Progress,
+			Store:       NewResultStore(),
+			CoreWorkers: opt.CoreWorkers,
 		},
 	}
 }
@@ -93,7 +99,7 @@ func (h *Harness) Run(w string, cfg config.Hardware) (*stats.Sim, error) {
 	spec := h.Spec(w, cfg)
 	res, ok := h.exec.store().Get(spec)
 	if !ok {
-		h.exec.store().Put(ExecuteOne(spec, h.opt.Size, h.opt.Seed))
+		h.exec.store().Put(ExecuteOne(spec, h.opt.Size, h.opt.Seed, h.opt.CoreWorkers))
 		// Re-read so concurrent callers converge on the canonical
 		// first-published result.
 		res, _ = h.exec.store().Get(spec)

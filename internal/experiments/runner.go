@@ -142,6 +142,11 @@ type Executor struct {
 	Progress io.Writer      // per-run progress lines; nil for silent
 	Store    *ResultStore   // destination; created on first use when nil
 
+	// CoreWorkers sets gpu.GPU.Workers for every simulation: how many
+	// goroutines tick cores inside one run (the -par flag). Simulation
+	// output is byte-identical for any value; <= 1 keeps runs serial.
+	CoreWorkers int
+
 	mu   sync.Mutex // serialises Progress so lines never interleave
 	done int        // completed runs, for progress numbering
 }
@@ -190,7 +195,7 @@ func (e *Executor) Execute(p *Plan) int {
 		go func() {
 			defer wg.Done()
 			for spec := range jobs {
-				res := ExecuteOne(spec, e.Size, e.Seed)
+				res := ExecuteOne(spec, e.Size, e.Seed, e.CoreWorkers)
 				st.Put(res)
 				e.logProgress(res, len(todo))
 			}
@@ -223,8 +228,9 @@ func (e *Executor) logProgress(res *RunResult, total int) {
 // ExecuteOne runs a single spec to completion in the calling goroutine.
 // It builds a private workload and GPU so concurrent calls share no
 // simulator state; the result's statistics are final and never mutated
-// again (renderers receive clones).
-func ExecuteOne(spec RunSpec, size workloads.Size, seed uint64) *RunResult {
+// again (renderers receive clones). coreWorkers sets gpu.GPU.Workers for
+// the run (<= 1 means serial ticking; output is identical either way).
+func ExecuteOne(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int) *RunResult {
 	res := &RunResult{Spec: spec}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
@@ -240,6 +246,7 @@ func ExecuteOne(spec RunSpec, size workloads.Size, seed uint64) *RunResult {
 		res.Err = err
 		return res
 	}
+	g.Workers = coreWorkers
 	if _, err := g.Run(wl.Launch); err != nil {
 		res.Err = err
 		return res

@@ -85,6 +85,37 @@ func TestDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestReportIdenticalAcrossCoreWorkers extends the determinism contract to
+// intra-simulation parallelism: a report produced with CoreWorkers=4 (four
+// goroutines ticking cores inside every run, the -par flag) must be
+// byte-identical to the serial one.
+func TestReportIdenticalAcrossCoreWorkers(t *testing.T) {
+	f, err := ByID("fig2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(par int) string {
+		var buf bytes.Buffer
+		h := New(&buf, Options{
+			Size:        workloads.SizeTiny,
+			Seed:        1,
+			Machine:     config.SmallTest,
+			Workload:    []string{"bfs", "kmeans"},
+			Workers:     2,
+			CoreWorkers: par,
+		})
+		if err := RunFigures(h, []Figure{f}); err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		return buf.String()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if serial != parallel {
+		t.Fatalf("report differs between -par 1 and -par 4:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
 // TestExecutorParallelMatchesInline cross-checks the worker pool against
 // the inline path: the same spec executed by an 8-worker pool and by a
 // direct ExecuteOne must produce identical cycle counts.
@@ -108,7 +139,7 @@ func TestExecutorParallelMatchesInline(t *testing.T) {
 		if res.Wall <= 0 {
 			t.Errorf("%s: no wall time recorded", s)
 		}
-		inline := ExecuteOne(s, workloads.SizeTiny, 1)
+		inline := ExecuteOne(s, workloads.SizeTiny, 1, 1)
 		if inline.Err != nil {
 			t.Fatal(inline.Err)
 		}

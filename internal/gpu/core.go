@@ -6,6 +6,15 @@ import (
 	"gpummu/internal/engine"
 	"gpummu/internal/kernels"
 	"gpummu/internal/mem"
+	"gpummu/internal/stats"
+)
+
+// Tick-outcome kinds recorded by phaseCompute for the post-commit
+// aggregation pass of GPU.Run.
+const (
+	tkBlockless = int8(iota) // no resident blocks; nothing to do
+	tkSkipped                // event fast-forward emulated the tick
+	tkTicked                 // a real tick ran; commit must follow
 )
 
 // Core is one shader core: its warps, L1 data cache, MMU, scheduler state,
@@ -13,6 +22,15 @@ import (
 type Core struct {
 	id int
 	g  *GPU
+
+	// st is this core's private statistics shard. Everything the core (and
+	// its MMU, scheduler, and TBC state machine) counts during a cycle's
+	// compute phase lands here and is folded into the run's global sink when
+	// the run finishes; mem.System and the shared TLB write the global sink
+	// directly, from commit phases only. The two sinks cover disjoint fields,
+	// and every stats type merges commutatively and exactly, so sharding
+	// never changes reported totals (see stats.Sim.Merge).
+	st *stats.Sim
 
 	mmu     *core.MMU
 	l1      *mem.Cache
@@ -56,16 +74,29 @@ type Core struct {
 	// warps, or a block is dispatched/retired — every such site sets this
 	// flag, so the common tick reuses the previous scan.
 	liveDirty bool
+
+	// Two-phase tick state (see DESIGN.md "Two-phase parallel core
+	// ticking"). The compute phase touches only core-private state and
+	// records everything that must reach shared structures; commit applies
+	// it in canonical core-id order.
+	pend       pendMem // suspended remainder of this cycle's memory instruction
+	pendRetire *Block  // block whose maybeRetire was deferred by execExit
+	evBuf      []Event // trace events buffered until this core's commit
+
+	// phaseCompute outcome, consumed by the commit + aggregation passes.
+	tkKind   int8
+	tkIssued bool
+	tkEv     engine.Cycle
 }
 
 func newCore(id int, g *GPU) *Core {
 	cfg := g.cfg
-	c := &Core{id: id, g: g}
+	c := &Core{id: id, g: g, st: &stats.Sim{}}
 	histLen := 0
 	if cfg.TBC.Mode == config.DivTLBTBC {
 		histLen = cfg.TBC.CPMHistory
 	}
-	c.mmu = core.NewMMU(cfg.MMU, g.sys, g.tr, g.st, histLen)
+	c.mmu = core.NewMMU(cfg.MMU, g.sys, g.tr, c.st, histLen)
 	c.l1 = mem.NewCache(cfg.L1Bytes, cfg.L1LineSize, cfg.L1Assoc)
 	c.l1Port = engine.NewSlottedResource(2, 32)
 	nm := cfg.L1MSHRs
@@ -92,6 +123,9 @@ func (c *Core) reset() {
 	c.wakeAt = 0
 	c.sleepCap = 0
 	c.liveDirty = true
+	c.pend = pendMem{}
+	c.pendRetire = nil
+	c.evBuf = c.evBuf[:0]
 	c.l1.Flush()
 	c.mmu.Shootdown()
 	for i := range c.l1MSHRs {
@@ -158,7 +192,7 @@ func (c *Core) retireBlock(b *Block) {
 	}
 	c.liveDirty = true
 	c.g.liveBlocks--
-	c.g.emit(Event{Kind: EvBlockEnd, Core: int16(c.id), Block: int32(b.id), Warp: -1, A: uint64(b.id)})
+	c.emit(Event{Kind: EvBlockEnd, Core: int16(c.id), Block: int32(b.id), Warp: -1, A: uint64(b.id)})
 	c.fillBlocks()
 }
 
@@ -174,10 +208,104 @@ func (c *Core) liveWarps(dst []*Warp) []*Warp {
 	return dst
 }
 
-// tick advances the core one cycle: issue up to IssueWidth ready warps in
-// scheduler order. It reports whether anything issued and the next cycle at
-// which this core has work to do.
+// emit buffers a trace event in the core's per-cycle event queue; the queue
+// drains to the tracer when the core commits, so parallel compute phases
+// reproduce the serial emission order exactly (all of core i's cycle-N
+// events precede core i+1's).
+func (c *Core) emit(e Event) {
+	if c.g.tracer != nil {
+		c.evBuf = append(c.evBuf, e)
+	}
+}
+
+// flushEvents drains the buffered trace events in emission order.
+func (c *Core) flushEvents() {
+	if len(c.evBuf) == 0 {
+		return
+	}
+	if t := c.g.tracer; t != nil {
+		for i := range c.evBuf {
+			t.Trace(c.evBuf[i])
+		}
+	}
+	c.evBuf = c.evBuf[:0]
+}
+
+// tick advances the core one cycle serially: the compute phase immediately
+// followed by the core's commit. The composition performs exactly the
+// operation sequence of the pre-split single-phase tick; parallel runs call
+// tickCompute and commit separately with a barrier in between.
 func (c *Core) tick(now engine.Cycle) (issuedAny bool, next engine.Cycle) {
+	issuedAny, next = c.tickCompute(now)
+	c.commit(now)
+	return issuedAny, next
+}
+
+// commit applies the core's buffered shared-state work for this cycle
+// during its canonical serial turn: functional memory accesses, the
+// suspended remainder of a memory instruction, block retirement, and trace
+// flushing. Everything it touches is either shared (mem.System, shared TLB,
+// functional memory, block dispatch counters, the tracer) or owned by this
+// core; it never reads another core's private state.
+func (c *Core) commit(now engine.Cycle) {
+	c.commitMem(now)
+	if b := c.pendRetire; b != nil {
+		c.pendRetire = nil
+		b.maybeRetire()
+	}
+	c.flushEvents()
+}
+
+// phaseCompute runs one core's share of a simulation cycle up to the point
+// where shared state would be touched, recording the outcome for the commit
+// and aggregation passes. It reads and writes only core-private state plus
+// immutable shared state (launch, config, the prewarmed translator), so any
+// set of cores may run it concurrently.
+func (c *Core) phaseCompute(now engine.Cycle) {
+	if len(c.blocks) == 0 {
+		// A blockless core can only regain blocks through its own
+		// retireBlock, so it has nothing to do until the launch ends.
+		c.tkKind = tkBlockless
+		return
+	}
+	if c.skippable && now < c.wakeAt {
+		// The core's warp set is frozen until wakeAt, so a real tick would
+		// be a pure no-op; emulate its return value with a bounded warp
+		// scan (the "hint" the pristine loop produced) instead of running
+		// maintain/order/step. See DESIGN.md "Performance model" for the
+		// exactness argument.
+		ev := c.sleepCap
+		anyWarp := false
+		for _, b := range c.blocks {
+			for _, w := range b.warps {
+				if w.state == WDone {
+					continue
+				}
+				anyWarp = true
+				if w.state == WReady && w.readyAt > now && w.readyAt < ev {
+					ev = w.readyAt
+				}
+			}
+		}
+		if anyWarp {
+			c.tkKind = tkSkipped
+			c.tkEv = ev
+			return
+		}
+		// All warps drained with blocks still live: TBC bookkeeping is
+		// pending, which only a real tick's maintain can run.
+	}
+	issued, ev := c.tickCompute(now)
+	c.tkKind = tkTicked
+	c.tkIssued = issued
+	c.tkEv = ev
+}
+
+// tickCompute is the core-private half of a tick: issue up to IssueWidth
+// ready warps in scheduler order, recording (not applying) any work that
+// must reach shared structures. It reports whether anything issued and the
+// next cycle at which this core has work to do.
+func (c *Core) tickCompute(now engine.Cycle) (issuedAny bool, next engine.Cycle) {
 	if len(c.blocks) == 0 {
 		return false, noEvent
 	}
@@ -278,9 +406,9 @@ func (c *Core) tick(now engine.Cycle) (issuedAny bool, next engine.Cycle) {
 func (c *Core) step(now engine.Cycle, w *Warp) (issued, memGated bool) {
 	in := &c.g.launch.Program.Code[w.curPC()]
 	lanes := countLanes(w.curLanes())
-	c.g.st.ActiveLanes.Observe(lanes)
+	c.st.ActiveLanes.Observe(lanes)
 	if c.g.tracer != nil {
-		c.g.emit(Event{Cycle: now, Kind: EvIssue, Core: int16(c.id),
+		c.emit(Event{Cycle: now, Kind: EvIssue, Core: int16(c.id),
 			Block: int32(w.block.id), Warp: int16(w.slot),
 			A: uint64(w.curPC()), B: uint64(lanes)})
 	}
@@ -288,11 +416,11 @@ func (c *Core) step(now engine.Cycle, w *Warp) (issued, memGated bool) {
 		if !c.mmu.CanAcceptMemOp(now) {
 			return false, true
 		}
-		c.execMem(now, w, in)
-		c.g.st.Instructions.Inc()
+		c.execMemCompute(now, w, in)
+		c.st.Instructions.Inc()
 		return true, false
 	}
 	c.execCtrlOrALU(now, w, in)
-	c.g.st.Instructions.Inc()
+	c.st.Instructions.Inc()
 	return true, false
 }

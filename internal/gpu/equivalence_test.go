@@ -151,6 +151,83 @@ func TestGoldenStatsSnapshot(t *testing.T) {
 	}
 }
 
+// TestParallelTickEquivalence pins the tentpole guarantee of the two-phase
+// tick: running the same simulation with any number of core-tick workers
+// (-par) produces byte-identical statistics and an identical final memory
+// image. It covers every scheduler/MMU/TBC family the golden snapshots pin
+// (whose par=1 output is in turn pinned against testdata/), plus a 16-core
+// configuration so par=8 exercises genuinely concurrent compute phases
+// rather than clamping to the core count.
+func TestParallelTickEquivalence(t *testing.T) {
+	cases := []struct {
+		name     string
+		workload string
+		mutate   func(*config.Hardware)
+	}{
+		{"bfs_tbc_augmented", "bfs", func(c *config.Hardware) {
+			c.MMU = config.AugmentedMMU()
+			c.TBC.Mode = config.DivTBC
+		}},
+		{"bfs_naive_blocking", "bfs", func(c *config.Hardware) {
+			c.MMU = config.NaiveMMU(3)
+		}},
+		{"bfs_ccws_naive", "bfs", func(c *config.Hardware) {
+			c.MMU = config.NaiveMMU(4)
+			c.Sched.Policy = config.SchedCCWS
+		}},
+		{"kmeans_augmented", "kmeans", func(c *config.Hardware) {
+			c.MMU = config.AugmentedMMU()
+		}},
+		{"memcached_tcws_shared_16core", "memcached", func(c *config.Hardware) {
+			c.NumCores = 16
+			c.MMU = config.AugmentedMMU()
+			c.MMU.SharedTLBEntries = 512
+			c.Sched.Policy = config.SchedTCWS
+		}},
+	}
+	run := func(t *testing.T, tc int, par int) ([]byte, uint64, uint64) {
+		cfg := config.SmallTest()
+		cases[tc].mutate(&cfg)
+		w, err := workloads.Build(cases[tc].workload, workloads.SizeTiny, cfg.PageShift, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := &stats.Sim{}
+		g, err := New(cfg, w.AS, st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.MaxCycles = 50_000_000
+		g.Workers = par
+		cycles, err := g.Run(w.Launch)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		js, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js, memFingerprint(w), cycles
+	}
+	for i, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			base, basePrint, baseCycles := run(t, i, 1)
+			for _, par := range []int{2, 8} {
+				got, print, cycles := run(t, i, par)
+				if cycles != baseCycles {
+					t.Fatalf("par=%d: simulated %d cycles, par=1 simulated %d", par, cycles, baseCycles)
+				}
+				if !bytes.Equal(got, base) {
+					t.Fatalf("par=%d stats diverged from par=1:\ngot:\n%s\nwant:\n%s", par, got, base)
+				}
+				if print != basePrint {
+					t.Fatalf("par=%d final memory image diverged: %x vs %x", par, print, basePrint)
+				}
+			}
+		})
+	}
+}
+
 // TestMMUModesFunctionallyEquivalent: translation hardware must never
 // change results either — no TLB, naive, augmented, shared-L2, software
 // walks, and the ideal TLB all produce the same memory image.

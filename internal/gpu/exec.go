@@ -223,7 +223,7 @@ func (c *Core) execBarrier(now engine.Cycle, w *Warp) {
 	b := w.block
 	w.state = WBarrier
 	b.barrierCount++
-	c.g.emit(Event{Cycle: now, Kind: EvBarrier, Core: int16(c.id), Block: int32(b.id),
+	c.emit(Event{Cycle: now, Kind: EvBarrier, Core: int16(c.id), Block: int32(b.id),
 		Warp: int16(w.slot), A: uint64(w.curPC()), B: uint64(b.barrierCount)})
 	if b.barrierCount < b.liveWarpCount() {
 		return
@@ -262,5 +262,7 @@ func (c *Core) execExit(now engine.Cycle, w *Warp) {
 	} else {
 		w.reconverge()
 	}
-	b.maybeRetire()
+	// Retirement touches the GPU-wide dispatch state (liveBlocks, nextBlock)
+	// and so waits for the core's commit turn.
+	c.pendRetire = b
 }

@@ -9,6 +9,7 @@ package gpu
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"gpummu/internal/config"
 	"gpummu/internal/core"
@@ -40,24 +41,36 @@ type GPU struct {
 	// MaxCycles, when non-zero, aborts Run past this cycle with a
 	// diagnostic — a guard against malformed kernels that never finish.
 	MaxCycles uint64
+
+	// Workers sets how many host goroutines tick cores inside a single run
+	// (the -par flag). Values <= 1 keep the run on one goroutine. Any value
+	// produces byte-identical simulation output: the per-cycle compute
+	// phase is core-private, and all shared-state work commits serially in
+	// core-id order (see DESIGN.md "Two-phase parallel core ticking"). This
+	// is a host-side knob, deliberately not part of config.Hardware.
+	Workers int
 }
 
-// dumpState summarises warp states for deadlock/runaway diagnostics.
-func (g *GPU) dumpState() string {
-	s := ""
+// dumpState summarises core and warp states for deadlock/runaway
+// diagnostics.
+func (g *GPU) dumpState(now engine.Cycle) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "cycle %d\n", now)
 	for _, c := range g.cores {
+		fmt.Fprintf(&sb, "core %d wakeAt=%d skippable=%v blocks=%d\n",
+			c.id, c.wakeAt, c.skippable, len(c.blocks))
 		for _, b := range c.blocks {
-			s += fmt.Sprintf("core %d block %d live=%d:", c.id, b.id, b.liveThreads)
+			fmt.Fprintf(&sb, "core %d block %d live=%d:", c.id, b.id, b.liveThreads)
 			for _, w := range b.warps {
-				s += fmt.Sprintf(" [slot%d st%d pc%d rdy%d lanes%d]", w.slot, w.state, w.curPC(), w.readyAt, countLanes(w.curLanes()))
+				fmt.Fprintf(&sb, " [slot%d st%d pc%d rdy%d lanes%d]", w.slot, w.state, w.curPC(), w.readyAt, countLanes(w.curLanes()))
 			}
 			if b.tbc != nil {
-				s += fmt.Sprintf(" tbcstack=%d", len(b.tbc.stack))
+				fmt.Fprintf(&sb, " tbcstack=%d", len(b.tbc.stack))
 			}
-			s += "\n"
+			sb.WriteByte('\n')
 		}
 	}
-	return s
+	return sb.String()
 }
 
 // New builds a GPU with the given hardware configuration over the address
@@ -100,9 +113,28 @@ func (g *GPU) Stats() *stats.Sim { return g.st }
 // Translator returns the functional translator (tests and tools).
 func (g *GPU) Translator() *vm.Translator { return g.tr }
 
+// mergeShards folds every core's statistics shard into the run's global
+// sink and clears the shards (so repeated Runs never double-count). Every
+// stats type merges commutatively and exactly, so the totals are
+// byte-identical to what a single shared sink would have accumulated under
+// serial ticking.
+func (g *GPU) mergeShards() {
+	for _, c := range g.cores {
+		g.st.Merge(c.st)
+		*c.st = stats.Sim{}
+	}
+}
+
 // Run executes one kernel launch to completion and returns the total cycle
 // count. It errs on invalid launches and on deadlock (which indicates a
 // malformed kernel, e.g. a barrier inside divergent control flow).
+//
+// Each cycle runs in two phases: a compute phase in which every core with
+// work does everything that touches only its private state (parallel across
+// Workers goroutines when Workers > 1), and a serial commit phase applying
+// each core's buffered shared-state work in ascending core-id order — the
+// same order the shared structures observed under single-phase ticking, so
+// simulation output is byte-identical for any Workers value.
 func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 	if err := l.Validate(); err != nil {
 		return 0, err
@@ -117,61 +149,66 @@ func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 	for _, c := range g.cores {
 		c.fillBlocks()
 	}
+	defer g.mergeShards()
+
+	var pool *corePool
+	if w := g.Workers; w > 1 {
+		if w > len(g.cores) {
+			w = len(g.cores)
+		}
+		if w > 1 {
+			// The functional translator memoises walks in a shared map that
+			// parallel compute phases read; walking the whole page table now
+			// makes that cache read-only for the rest of the run.
+			g.tr.Prewarm()
+			pool = newCorePool(g, w)
+			defer pool.stop()
+		}
+	}
 
 	now := engine.Cycle(0)
 	for g.liveBlocks > 0 || g.nextBlock < l.Grid {
 		if g.MaxCycles != 0 && uint64(now) > g.MaxCycles {
-			return uint64(now), fmt.Errorf("gpu: exceeded MaxCycles=%d\n%s", g.MaxCycles, g.dumpState())
+			return uint64(now), fmt.Errorf("gpu: exceeded MaxCycles=%d\n%s", g.MaxCycles, g.dumpState(now))
 		}
+		// Compute phase: core-private work only.
+		if pool != nil {
+			pool.cycle(now)
+		} else {
+			for _, c := range g.cores {
+				c.phaseCompute(now)
+			}
+		}
+		// Commit phase: buffered shared-state work, canonical core order.
+		for _, c := range g.cores {
+			if c.tkKind == tkTicked {
+				c.commit(now)
+			}
+		}
+		// Aggregation: commits can retire blocks, so liveness and the next
+		// event fold after them.
 		next := noEvent
 		anyLive := false
 		for _, c := range g.cores {
-			if len(c.blocks) == 0 {
-				// A blockless core can only regain blocks through its own
-				// retireBlock, so it has nothing to do until the launch ends.
+			switch c.tkKind {
+			case tkBlockless:
 				c.pendingIdle = false
-				continue
-			}
-			if c.skippable && now < c.wakeAt {
-				// The core's warp set is frozen until wakeAt, so a real
-				// tick would be a pure no-op; emulate its return value
-				// with a bounded warp scan (the "hint" the pristine loop
-				// produced) instead of running maintain/order/step. See
-				// DESIGN.md "Performance model" for the exactness argument.
-				ev := c.sleepCap
-				anyWarp := false
-				for _, b := range c.blocks {
-					for _, w := range b.warps {
-						if w.state == WDone {
-							continue
-						}
-						anyWarp = true
-						if w.state == WReady && w.readyAt > now && w.readyAt < ev {
-							ev = w.readyAt
-						}
-					}
-				}
-				if anyWarp {
-					anyLive = true
-					c.pendingIdle = true
-					if ev < next {
-						next = ev
-					}
-					continue
-				}
-				// All warps drained with blocks still live: TBC bookkeeping
-				// is pending, which only a real tick's maintain can run.
-			}
-			issued, ev := c.tick(now)
-			// Re-check blocks: the tick may have retired the core's last one.
-			if len(c.blocks) > 0 {
+			case tkSkipped:
 				anyLive = true
-				c.pendingIdle = !issued
-			} else {
-				c.pendingIdle = false
-			}
-			if ev < next {
-				next = ev
+				c.pendingIdle = true
+				if c.tkEv < next {
+					next = c.tkEv
+				}
+			default: // tkTicked; the tick may have retired the core's last block.
+				if len(c.blocks) > 0 {
+					anyLive = true
+					c.pendingIdle = !c.tkIssued
+				} else {
+					c.pendingIdle = false
+				}
+				if c.tkEv < next {
+					next = c.tkEv
+				}
 			}
 		}
 		if !anyLive && g.nextBlock >= l.Grid && g.liveBlocks == 0 {

@@ -13,6 +13,23 @@ type lineReq struct {
 	pageIdx int    // index into the instruction's PageReq/PageResult slices
 }
 
+// pendAccess snapshots one lane's functional access for commit-time replay.
+// The snapshot is taken during coalescing because the warp's lane list can
+// be compacted away before the commit runs; the thread's registers are
+// core-private and stable between the two phases, so (thread, va) suffices.
+type pendAccess struct {
+	t  *Thread
+	va uint64
+}
+
+// pendMiss is one L1 miss whose memory-system access was deferred: the
+// compute phase resolved everything up to the MSHR gate (which depends on
+// completion cycles only the shared memory system can provide).
+type pendMiss struct {
+	startBase engine.Cycle // port grant + L1 latency; MSHR wait applies on top
+	pa        uint64
+}
+
 // memScratch holds execMem's per-instruction coalescing buffers. Each Core
 // owns exactly one and reuses it across instructions, so the steady-state
 // memory path performs no heap allocation. The buffers must never be shared
@@ -21,13 +38,41 @@ type memScratch struct {
 	lines    []lineReq
 	reqs     []core.PageReq
 	results  []core.PageResult
-	warpSets [][]int  // per-page Warps backing arrays, parallel to reqs
-	warpBits []uint64 // per-page origWarp bitsets, words uint64s per page
-	words    int      // bitset words per page: ceil(WarpsPerCore/64)
+	warpSets [][]int      // per-page Warps backing arrays, parallel to reqs
+	warpBits []uint64     // per-page origWarp bitsets, words uint64s per page
+	words    int          // bitset words per page: ceil(WarpsPerCore/64)
+	accs     []pendAccess // functional accesses deferred to commit
+	misses   []pendMiss   // L1 misses deferred to commit (all-TLB-hit path)
 }
 
-// execMem executes one warp-level memory instruction: coalescing, parallel
-// TLB + L1 access, miss handling, and functional data movement. This is
+// pendMem is the suspended remainder of the memory instruction a core
+// issued this cycle (at most one: cores issue a single instruction per
+// tick). tlbDone distinguishes the two suspension points: either every page
+// hit the TLB and only the deferred misses in scratch remain, or translation
+// itself suspended at its first TLB miss and the whole downstream path —
+// remaining lookups, result hooks, and the L1 line loop — runs at commit.
+type pendMem struct {
+	active  bool
+	tlbDone bool
+	w       *Warp
+	in      *kernels.Instr
+	at      engine.Cycle // issue cycle
+	ls      core.LookupState
+	done    engine.Cycle // all-hit path: max completion over compute-resolved lines
+}
+
+// execMem executes one warp-level memory instruction start to finish: the
+// core-private compute half immediately followed by the shared-state commit
+// half. Unit tests drive it directly; the run loop instead calls
+// execMemCompute from the (possibly parallel) compute phase and commitMem
+// from the core's serial commit turn.
+func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
+	c.execMemCompute(now, w, in)
+	c.commitMem(now)
+}
+
+// execMemCompute is the core-private half of one warp-level memory
+// instruction: coalescing, parallel TLB + L1 access, miss handling. This is
 // where the paper's design space plays out:
 //
 //   - intra-warp requests to the same PTE coalesce into one TLB lookup;
@@ -36,9 +81,15 @@ type memScratch struct {
 //   - without CacheOverlap every line access waits for the warp's slowest
 //     walk; with it, lanes that hit the TLB access the L1 immediately and
 //     lanes that missed start as soon as their own walk completes.
-func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
-	b := w.block
-	st := c.g.st
+//
+// Functional data movement always waits for commit (the heap is shared, and
+// same-cycle cross-core store→load ordering must follow core-id order). The
+// timing path runs here as far as exactness allows: translation suspends at
+// its first TLB miss (the miss path walks through the shared memory
+// system), and when every page hits, the L1 loop runs with only the
+// miss-path System.Access calls recorded for commit.
+func (c *Core) execMemCompute(now engine.Cycle, w *Warp, in *kernels.Instr) {
+	st := c.st
 	lineShift := c.g.sys.LineShift()
 	pageShift := c.g.cfg.PageShift
 	isStore := in.Kind == kernels.KindStore
@@ -48,15 +99,28 @@ func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
 	st.MemInstrs.Inc()
 	st.PageDivergence.Observe(len(sc.reqs))
 	st.LineDivergence.Observe(len(sc.lines))
+	p := &c.pend
+	p.w, p.in, p.at = w, in, now
 	if len(sc.lines) == 0 {
 		// All lanes were inactive (can happen transiently around exits).
 		w.readyAt = now + 1
 		c.advance(now, w, w.curPC()+1)
 		return
 	}
+	p.active = true
 
-	// Address translation for each distinct page.
-	sc.results = c.mmu.LookupInto(now, sc.reqs, sc.results)
+	// Address translation for each distinct page (TLB-side portion).
+	sc.results, p.ls = c.mmu.LookupCompute(now, sc.reqs, sc.results)
+	if !p.ls.Done(sc.reqs) {
+		// Translation suspended at a TLB miss. Even the already-translated
+		// prefix's scheduler hooks must wait: serially they run after the
+		// whole lookup, whose miss-path TLB fills can evict into TCWS
+		// victim tag arrays that those hooks then observe.
+		p.tlbDone = false
+		return
+	}
+	p.tlbDone = true
+
 	results := sc.results
 	maxReady := engine.Cycle(0)
 	for i := range results {
@@ -65,17 +129,7 @@ func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
 			maxReady = r.ReadyAt
 		}
 		if c.mmu.Config().Enabled {
-			if r.Hit {
-				c.sched.onTLBHit(w.slot, r.LRUDepth)
-			} else {
-				c.sched.onTLBMiss(w.slot, r.VPN)
-				if c.g.tracer != nil {
-					c.g.emit(Event{Cycle: now, Kind: EvTLBMiss, Core: int16(c.id),
-						Block: int32(b.id), Warp: int16(w.slot), A: r.VPN, B: uint64(r.ReadyAt)})
-					c.g.emit(Event{Cycle: r.ReadyAt, Kind: EvWalkDone, Core: int16(c.id),
-						Block: int32(b.id), Warp: int16(w.slot), A: r.VPN, B: uint64(r.ReadyAt - now)})
-				}
-			}
+			c.sched.onTLBHit(w.slot, r.LRUDepth)
 		}
 	}
 
@@ -83,7 +137,9 @@ func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
 	penalty := c.mmu.AccessPenalty()
 	pageMask := (uint64(1) << pageShift) - 1
 
-	// L1 (and beyond) for each distinct line.
+	// L1 for each distinct line; every start time is known (no page missed),
+	// so only the miss-path memory-system accesses defer.
+	sc.misses = sc.misses[:0]
 	done := maxReady
 	for _, lr := range sc.lines {
 		r := &results[lr.pageIdx]
@@ -103,19 +159,128 @@ func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
 		if evicted {
 			c.sched.onL1Evict(ev)
 		}
+		if hit {
+			st.L1Hits.Inc()
+			fin := s + engine.Cycle(c.g.cfg.L1Latency)
+			if fin > done {
+				done = fin
+			}
+		} else {
+			st.L1Misses.Inc()
+			sc.misses = append(sc.misses, pendMiss{startBase: s + engine.Cycle(c.g.cfg.L1Latency), pa: pa})
+			c.sched.onL1Miss(w.slot, pa>>lineShift, !r.Hit)
+		}
+	}
+	p.done = done
+}
+
+// commitMem applies the shared-state remainder of the cycle's memory
+// instruction: functional accesses first (matching their serial position
+// during coalescing), then whichever timing suspension point compute left.
+func (c *Core) commitMem(now engine.Cycle) {
+	sc := &c.scratch
+	p := &c.pend
+	if len(sc.accs) > 0 {
+		isStore := p.in.Kind == kernels.KindStore
+		for i := range sc.accs {
+			a := &sc.accs[i]
+			c.funcAccess(a.t, a.va, p.in, isStore)
+		}
+		sc.accs = sc.accs[:0]
+	}
+	if !p.active {
+		return
+	}
+	p.active = false
+	w := p.w
+	st := c.st
+
+	if p.tlbDone {
+		// Only the L1 misses' memory-system accesses remain. A free
+		// miss-status register gates entry into the memory system; this is
+		// the flow control that keeps one core from flooding the
+		// interconnect (GPGPU-Sim models the same limit).
+		done := p.done
+		for i := range sc.misses {
+			ms := &sc.misses[i]
+			mi := 0
+			for j := 1; j < len(c.l1MSHRs); j++ {
+				if c.l1MSHRs[j] < c.l1MSHRs[mi] {
+					mi = j
+				}
+			}
+			start := ms.startBase
+			if c.l1MSHRs[mi] > start {
+				start = c.l1MSHRs[mi]
+			}
+			fin, _ := c.g.sys.Access(start, ms.pa, mem.ClassData)
+			c.l1MSHRs[mi] = fin
+			st.L1MissLat.Observe(uint64(fin - start))
+			if fin > done {
+				done = fin
+			}
+		}
+		sc.misses = sc.misses[:0]
+		w.readyAt = done
+		c.advance(p.at, w, w.curPC()+1)
+		return
+	}
+
+	// Translation suspended: finish it, then run the result hooks and the
+	// whole L1 line loop exactly as the serial path would have.
+	at := p.at
+	b := w.block
+	lineShift := c.g.sys.LineShift()
+	pageMask := (uint64(1) << c.g.cfg.PageShift) - 1
+	c.mmu.LookupCommit(at, sc.reqs, sc.results, p.ls)
+	results := sc.results
+	maxReady := engine.Cycle(0)
+	for i := range results {
+		r := &results[i]
+		if r.ReadyAt > maxReady {
+			maxReady = r.ReadyAt
+		}
+		if r.Hit {
+			c.sched.onTLBHit(w.slot, r.LRUDepth)
+		} else {
+			c.sched.onTLBMiss(w.slot, r.VPN)
+			if c.g.tracer != nil {
+				c.emit(Event{Cycle: at, Kind: EvTLBMiss, Core: int16(c.id),
+					Block: int32(b.id), Warp: int16(w.slot), A: r.VPN, B: uint64(r.ReadyAt)})
+				c.emit(Event{Cycle: r.ReadyAt, Kind: EvWalkDone, Core: int16(c.id),
+					Block: int32(b.id), Warp: int16(w.slot), A: r.VPN, B: uint64(r.ReadyAt - at)})
+			}
+		}
+	}
+
+	overlap := c.mmu.Config().CacheOverlap
+	penalty := c.mmu.AccessPenalty()
+	done := maxReady
+	for _, lr := range sc.lines {
+		r := &results[lr.pageIdx]
+		start := maxReady
+		if overlap {
+			start = r.ReadyAt
+		}
+		start += penalty
+		s := c.l1Port.Acquire(start, 1+int(penalty))
+		pa := r.PBase | ((lr.lineVA << lineShift) & pageMask)
+
+		st.L1Accesses.Inc()
+		hit, ev, evicted := c.l1.Access(pa, w.slot)
+		if evicted {
+			c.sched.onL1Evict(ev)
+		}
 		var fin engine.Cycle
 		if hit {
 			st.L1Hits.Inc()
 			fin = s + engine.Cycle(c.g.cfg.L1Latency)
 		} else {
 			st.L1Misses.Inc()
-			// A free miss-status register gates entry into the memory
-			// system; this is the flow control that keeps one core from
-			// flooding the interconnect (GPGPU-Sim models the same limit).
 			mi := 0
-			for i := 1; i < len(c.l1MSHRs); i++ {
-				if c.l1MSHRs[i] < c.l1MSHRs[mi] {
-					mi = i
+			for j := 1; j < len(c.l1MSHRs); j++ {
+				if c.l1MSHRs[j] < c.l1MSHRs[mi] {
+					mi = j
 				}
 			}
 			start := s + engine.Cycle(c.g.cfg.L1Latency)
@@ -133,15 +298,17 @@ func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
 	}
 
 	w.readyAt = done
-	c.advance(now, w, w.curPC()+1)
+	c.advance(at, w, w.curPC()+1)
 }
 
 // coalesceMem groups the warp's active lanes into distinct cache lines and
 // distinct pages — both in first-appearance order, as the hardware
 // coalescer's comparator tree produces them — attributes each page to the
 // original warps of its requesting threads (one entry per origWarp, via a
-// per-page bitset), and performs the functional access for each lane.
-// Results land in c.scratch: lines, and reqs whose Warps alias warpSets.
+// per-page bitset), and snapshots each lane's functional access for replay
+// at commit (functional memory is shared across cores, so the accesses must
+// land in canonical core order). Results land in c.scratch: lines, accs,
+// and reqs whose Warps alias warpSets.
 func (c *Core) coalesceMem(w *Warp, in *kernels.Instr, isStore bool) {
 	b := w.block
 	lineShift := c.g.sys.LineShift()
@@ -149,13 +316,14 @@ func (c *Core) coalesceMem(w *Warp, in *kernels.Instr, isStore bool) {
 	sc := &c.scratch
 	sc.lines = sc.lines[:0]
 	sc.reqs = sc.reqs[:0]
+	sc.accs = sc.accs[:0]
 	for _, tid := range w.curLanes() {
 		if tid == noLane {
 			continue
 		}
 		t := &b.threads[tid]
 		va := t.regs[in.A] + uint64(in.Imm)
-		c.funcAccess(t, va, in, isStore)
+		sc.accs = append(sc.accs, pendAccess{t: t, va: va})
 
 		vpn := va >> pageShift
 		pi := -1

@@ -1,0 +1,90 @@
+package gpu
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"gpummu/internal/engine"
+)
+
+// corePool runs the per-core compute phase of each simulation cycle on a
+// set of persistent worker goroutines. Each worker owns a static contiguous
+// range of cores, so a core's private state is only ever touched by one
+// goroutine per phase and cache lines stay warm across cycles.
+//
+// Synchronisation is an epoch barrier over sync/atomic values, chosen over
+// channels because the barrier fires every simulated cycle: the coordinator
+// publishes the cycle and bumps epoch (release); each worker observes the
+// bump (acquire), runs its range, and stores the epoch to its own padded
+// done slot (release); the coordinator spins until every done slot matches
+// (acquire). Atomic operations carry happens-before edges under the Go
+// memory model, so the pool is race-detector-clean; runtime.Gosched in the
+// spin loops keeps oversubscribed hosts making progress.
+type corePool struct {
+	g     *GPU
+	now   engine.Cycle // published before each epoch bump
+	quit  bool         // published before the final epoch bump
+	epoch atomic.Uint64
+	done  []poolSlot
+}
+
+// poolSlot pads each worker's done counter to its own cache line so the
+// coordinator's polling never contends with another worker's store.
+type poolSlot struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// newCorePool starts n workers over g's cores, split into n contiguous
+// ranges. Callers guarantee 1 < n <= len(g.cores).
+func newCorePool(g *GPU, n int) *corePool {
+	p := &corePool{g: g, done: make([]poolSlot, n)}
+	nc := len(g.cores)
+	for i := 0; i < n; i++ {
+		go p.worker(i, i*nc/n, (i+1)*nc/n)
+	}
+	return p
+}
+
+func (p *corePool) worker(id, lo, hi int) {
+	seen := uint64(0)
+	for {
+		for p.epoch.Load() == seen {
+			runtime.Gosched()
+		}
+		seen++ // the coordinator bumps by exactly one per barrier
+		if p.quit {
+			p.done[id].v.Store(seen)
+			return
+		}
+		now := p.now
+		for _, c := range p.g.cores[lo:hi] {
+			c.phaseCompute(now)
+		}
+		p.done[id].v.Store(seen)
+	}
+}
+
+// cycle runs one compute phase across all workers and returns once every
+// core's phaseCompute has completed (and its effects are visible to the
+// coordinator goroutine).
+func (p *corePool) cycle(now engine.Cycle) {
+	p.now = now
+	e := p.epoch.Add(1)
+	for i := range p.done {
+		for p.done[i].v.Load() != e {
+			runtime.Gosched()
+		}
+	}
+}
+
+// stop terminates the workers and waits for them to exit the barrier.
+func (p *corePool) stop() {
+	p.quit = true
+	e := p.epoch.Add(1)
+	for i := range p.done {
+		for p.done[i].v.Load() != e {
+			runtime.Gosched()
+		}
+	}
+}

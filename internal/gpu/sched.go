@@ -96,7 +96,7 @@ func (s *sched) onL1Miss(slot int, lineTag uint64, withTLBMiss bool) {
 	if !s.vtas[slot].Probe(lineTag) {
 		return
 	}
-	s.c.g.st.VTAHits.Inc()
+	s.c.st.VTAHits.Inc()
 	w := 1
 	if s.cfg.Policy == config.SchedTACCWS && withTLBMiss && s.cfg.TLBMissWeight > 1 {
 		w = s.cfg.TLBMissWeight
@@ -127,7 +127,7 @@ func (s *sched) onTLBMiss(slot int, vpn uint64) {
 	if !s.vtas[slot].Probe(vpn) {
 		return
 	}
-	s.c.g.st.VTAHits.Inc()
+	s.c.st.VTAHits.Inc()
 	w := s.cfg.TLBMissWeight
 	if w < 1 {
 		w = 1
@@ -195,7 +195,7 @@ func (s *sched) recompute() {
 	for i := 0; i < pool && i < len(rank); i++ {
 		s.allowed[rank[i]] = true
 	}
-	s.c.g.st.SchedThrottles.Inc()
+	s.c.st.SchedThrottles.Inc()
 }
 
 // order returns the candidate warps in issue order for this cycle.

@@ -238,7 +238,7 @@ func (t *tbcState) compact(now engine.Cycle, threads []int32, pc int32) []*Warp 
 				continue
 			}
 			if tlbAware && !t.cpmAdmits(w, th) {
-				b.core.g.st.CPMRejects.Inc()
+				b.core.st.CPMRejects.Inc()
 				continue
 			}
 			w.lanes[lane] = tid
@@ -259,8 +259,8 @@ func (t *tbcState) compact(now engine.Cycle, threads []int32, pc int32) []*Warp 
 				break
 			}
 		}
-		b.core.g.st.CompactedWarps.Inc()
-		b.core.g.emit(Event{Cycle: now, Kind: EvCompact, Core: int16(b.core.id),
+		b.core.st.CompactedWarps.Inc()
+		b.core.emit(Event{Cycle: now, Kind: EvCompact, Core: int16(b.core.id),
 			Block: int32(b.id), Warp: int16(w.slot), A: uint64(pc), B: uint64(countLanes(w.lanes))})
 	}
 	return warps

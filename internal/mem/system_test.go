@@ -63,6 +63,75 @@ func TestSystemWalkClassCountsWalkCacheHits(t *testing.T) {
 	}
 }
 
+func TestSystemPartitionRoundRobin(t *testing.T) {
+	s, _ := newTestSystem()
+	cfg := config.SmallTest()
+	lineSize := uint64(1) << s.LineShift()
+	// Consecutive lines must cycle through every partition in order, and
+	// every byte of a line must map with its line.
+	for i := 0; i < 4*cfg.NumPartitions; i++ {
+		pa := uint64(i) * lineSize
+		if got, want := s.Partition(pa), i%cfg.NumPartitions; got != want {
+			t.Fatalf("line %d: partition %d, want %d", i, got, want)
+		}
+		for _, off := range []uint64{1, lineSize / 2, lineSize - 1} {
+			if s.Partition(pa+off) != s.Partition(pa) {
+				t.Fatalf("line %d split across partitions at offset %d", i, off)
+			}
+		}
+	}
+}
+
+func TestSystemDataClassNeverCountsWalkCacheHits(t *testing.T) {
+	s, st := newTestSystem()
+	s.Access(0, 0x40000, ClassData)
+	done, hit := s.Access(1000, 0x40000, ClassData) // warm data hit
+	if !hit {
+		t.Fatal("warm access missed L2")
+	}
+	if st.WalkCacheHits != 0 {
+		t.Fatalf("data-class hit counted as walk cache hit: %d", st.WalkCacheHits)
+	}
+	if st.L2Hits != 1 || st.L2Misses != 1 || st.L2Accesses != 2 {
+		t.Fatalf("L2 stats = %d/%d/%d, want 1/1/2", st.L2Hits, st.L2Misses, st.L2Accesses)
+	}
+	if done <= 1000 {
+		t.Fatalf("hit done at %d, want after issue cycle", done)
+	}
+}
+
+// TestSystemPruneInvariant pins the contract Run's periodic Prune relies
+// on: dropping contention bookkeeping for past cycles must never change
+// the outcome of any subsequent Access. Two identical systems replay the
+// same request stream; one prunes aggressively between requests.
+func TestSystemPruneInvariant(t *testing.T) {
+	st1, st2 := &stats.Sim{}, &stats.Sim{}
+	s1 := NewSystem(config.SmallTest(), st1)
+	s2 := NewSystem(config.SmallTest(), st2)
+	cfg := config.SmallTest()
+	lineSize := uint64(1) << s1.LineShift()
+
+	now := engine.Cycle(0)
+	for i := 0; i < 200; i++ {
+		// A mix of reuse (hits), fresh lines (misses), and channel
+		// conflicts, issued at a creeping clock like a real run.
+		pa := uint64(0x50000) + uint64(i%17)*lineSize*uint64(cfg.NumPartitions) + uint64(i%3)*lineSize
+		d1, h1 := s1.Access(now, pa, ClassData)
+		d2, h2 := s2.Access(now, pa, ClassData)
+		if d1 != d2 || h1 != h2 {
+			t.Fatalf("req %d: pruned system diverged: done %d/%d hit %v/%v", i, d2, d1, h2, h1)
+		}
+		if i%5 == 0 {
+			s2.Prune(now) // the global clock is monotonic: now is a safe bound
+		}
+		now += engine.Cycle(1 + i%7)
+	}
+	if st1.L2Accesses != st2.L2Accesses || st1.L2Hits != st2.L2Hits || st1.L2Misses != st2.L2Misses {
+		t.Fatalf("L2 stats diverged after pruning: %d/%d/%d vs %d/%d/%d",
+			st1.L2Accesses, st1.L2Hits, st1.L2Misses, st2.L2Accesses, st2.L2Hits, st2.L2Misses)
+	}
+}
+
 func TestSystemDRAMContention(t *testing.T) {
 	s, _ := newTestSystem()
 	cfg := config.SmallTest()

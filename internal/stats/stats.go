@@ -23,6 +23,9 @@ func (c *Counter) Inc() { *c++ }
 // Value returns the current count.
 func (c Counter) Value() uint64 { return uint64(c) }
 
+// Merge folds another counter into c.
+func (c *Counter) Merge(o Counter) { *c += o }
+
 // LatencyAccum accumulates per-event latencies so averages can be reported.
 type LatencyAccum struct {
 	Events uint64
@@ -36,6 +39,17 @@ func (l *LatencyAccum) Observe(cycles uint64) {
 	l.Total += cycles
 	if cycles > l.Max {
 		l.Max = cycles
+	}
+}
+
+// Merge folds another accumulator into l. Events, Total, and Max are each
+// commutative aggregates, so merging per-core shards in any order yields the
+// same value a single shared accumulator would have held.
+func (l *LatencyAccum) Merge(o LatencyAccum) {
+	l.Events += o.Events
+	l.Total += o.Total
+	if o.Max > l.Max {
+		l.Max = o.Max
 	}
 }
 
@@ -77,6 +91,25 @@ func (h *Hist) Clone() Hist {
 	c := *h
 	c.buckets = append([]uint64(nil), h.buckets...)
 	return c
+}
+
+// Merge folds another histogram into h bucket-wise. The merged bucket slice
+// grows to the longer of the two, i.e. exactly max-observed-value+1 — the same
+// length a single shared histogram would have (Observe grows on demand and
+// never pads), so marshalled golden snapshots stay byte-identical after a
+// shard merge.
+func (h *Hist) Merge(o *Hist) {
+	for len(h.buckets) < len(o.buckets) {
+		h.buckets = append(h.buckets, 0)
+	}
+	for v, n := range o.buckets {
+		h.buckets[v] += n
+	}
+	h.count += o.count
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
 }
 
 // Count returns the number of samples observed.
@@ -208,6 +241,55 @@ type Sim struct {
 	SchedThrottles Counter // cycles the scheduling pool was restricted
 	CompactedWarps Counter // dynamic warps formed by TBC
 	CPMRejects     Counter // compaction candidates deferred by the CPM
+}
+
+// Merge folds another Sim into s field by field. Every field is either a
+// plain sum (uint64, Counter) or a commutative aggregate (LatencyAccum,
+// Hist), so merging the per-core shards a parallel run accumulates — in any
+// order — reproduces exactly the values a single shared Sim would have held
+// under serial ticking. GPU.Run merges core shards into the global sink once
+// at the end of a run.
+func (s *Sim) Merge(o *Sim) {
+	s.Cycles += o.Cycles
+	s.Instructions.Merge(o.Instructions)
+	s.MemInstrs.Merge(o.MemInstrs)
+	s.IdleCycles.Merge(o.IdleCycles)
+	s.CoreCycles += o.CoreCycles
+
+	s.PageDivergence.Merge(&o.PageDivergence)
+	s.LineDivergence.Merge(&o.LineDivergence)
+	s.ActiveLanes.Merge(&o.ActiveLanes)
+
+	s.TLBAccesses.Merge(o.TLBAccesses)
+	s.TLBHits.Merge(o.TLBHits)
+	s.TLBMisses.Merge(o.TLBMisses)
+	s.TLBHitUnder.Merge(o.TLBHitUnder)
+	s.TLBMissLat.Merge(o.TLBMissLat)
+
+	s.L1Accesses.Merge(o.L1Accesses)
+	s.L1Hits.Merge(o.L1Hits)
+	s.L1Misses.Merge(o.L1Misses)
+	s.L1MissLat.Merge(o.L1MissLat)
+
+	s.L2Accesses.Merge(o.L2Accesses)
+	s.L2Hits.Merge(o.L2Hits)
+	s.L2Misses.Merge(o.L2Misses)
+
+	s.Walks.Merge(o.Walks)
+	s.WalkRefs.Merge(o.WalkRefs)
+	s.WalkRefsCoalesced.Merge(o.WalkRefsCoalesced)
+	s.WalkCacheHits.Merge(o.WalkCacheHits)
+	s.PWCHits.Merge(o.PWCHits)
+	s.WalkLat.Merge(o.WalkLat)
+
+	s.SharedTLBAccesses.Merge(o.SharedTLBAccesses)
+	s.SharedTLBHits.Merge(o.SharedTLBHits)
+	s.SharedTLBMisses.Merge(o.SharedTLBMisses)
+
+	s.VTAHits.Merge(o.VTAHits)
+	s.SchedThrottles.Merge(o.SchedThrottles)
+	s.CompactedWarps.Merge(o.CompactedWarps)
+	s.CPMRejects.Merge(o.CPMRejects)
 }
 
 // Clone returns an independent deep copy of the statistics. The experiment

@@ -5,11 +5,19 @@
 #
 # Usage: tools/bench.sh [label]     (label defaults to the short git HEAD)
 #
-# Metrics recorded per entry:
+# Metrics recorded per BENCH_hotpath.json entry:
 #   total_fig_seconds      wall time summed over every BenchmarkFig* figure
 #                          benchmark at -benchtime 1x (the tiny figure matrix)
 #   sim_cycles_per_second  simulated cycles per wall-second, from
 #                          BenchmarkSimulatorThroughput's sim_cycles metric
+#
+# A second entry goes to BENCH_parcore.json from BenchmarkParCoreWorkers
+# (one small run ticked by 1 vs 8 core goroutines, the -par flag):
+#   par1_seconds / par8_seconds   wall time of the same simulation
+#   par8_speedup                  par1_seconds / par8_seconds
+#   sim_cycles                    identical across par by construction
+#   host_cpus                     interpret the speedup against this —
+#                                 a 1-CPU host cannot show one
 #
 # Entries are append-only: compare the newest "after" entry against the
 # older "before" entries to see the speedup a hot-path PR delivered.
@@ -57,3 +65,43 @@ fi
 
 echo "bench: recorded entry '$label' in $out_json" >&2
 tail -n 8 "$out_json" >&2
+
+par_json="BENCH_parcore.json"
+echo "bench: running par-core scaling (BenchmarkParCoreWorkers)" >&2
+go test -run '^$' -bench 'BenchmarkParCoreWorkers' \
+	-benchtime 1x -timeout 60m . | tee "$raw" >&2
+
+par_entry="$(awk -v label="$label" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v cpus="$(nproc 2>/dev/null || echo 1)" '
+/^BenchmarkParCoreWorkers\/par1/ {
+	for (i = 1; i <= NF; i++) {
+		if ($i == "ns/op") p1_ns = $(i-1)
+		if ($i == "sim_cycles") cycles = $(i-1)
+	}
+}
+/^BenchmarkParCoreWorkers\/par8/ {
+	for (i = 1; i <= NF; i++) if ($i == "ns/op") p8_ns = $(i-1)
+}
+END {
+	speedup = (p8_ns > 0) ? p1_ns / p8_ns : 0
+	printf "  {\n"
+	printf "    \"label\": \"%s\",\n", label
+	printf "    \"date\": \"%s\",\n", date
+	printf "    \"host_cpus\": %d,\n", cpus
+	printf "    \"par1_seconds\": %.3f,\n", p1_ns / 1e9
+	printf "    \"par8_seconds\": %.3f,\n", p8_ns / 1e9
+	printf "    \"par8_speedup\": %.2f,\n", speedup
+	printf "    \"sim_cycles\": %.0f\n", cycles
+	printf "  }"
+}' "$raw")"
+
+if [[ -s "$par_json" ]]; then
+	sed '$d' "$par_json" >"$par_json.tmp"
+	printf ',\n%s\n]\n' "$par_entry" >>"$par_json.tmp"
+	mv "$par_json.tmp" "$par_json"
+else
+	printf '[\n%s\n]\n' "$par_entry" >"$par_json"
+fi
+
+echo "bench: recorded entry '$label' in $par_json" >&2
+tail -n 10 "$par_json" >&2

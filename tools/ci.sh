@@ -26,10 +26,42 @@ go test "${pkgs[@]}"
 echo "== go test -race ${pkgs[*]}"
 go test -race "${pkgs[@]}"
 
-# Bench smoke: one iteration of the figure-2 benchmark proves the hot path
-# still runs end to end under the benchmark harness (no timing asserted here;
-# tools/bench.sh records real numbers into BENCH_hotpath.json).
-echo "== bench smoke (BenchmarkFig02 x1)"
-go test -bench BenchmarkFig02 -benchtime 1x -run '^$' .
+# Parallel-tick equivalence under the race detector, run explicitly even
+# when a package subset was requested: TestParallelTickEquivalence replays
+# every golden configuration at -par 1, 2, and 8 and requires byte-identical
+# stats and memory images, and TestReportIdenticalAcrossCoreWorkers does the
+# same for a rendered figure report. -race is what proves the compute phase
+# shares nothing it shouldn't (DESIGN.md section 10.3).
+echo "== go test -race par equivalence (par=1,2,8)"
+go test -race -run 'TestParallelTickEquivalence' ./internal/gpu
+go test -race -run 'TestReportIdenticalAcrossCoreWorkers' ./internal/experiments
+
+# Bench gate: one iteration of the figure-2 benchmark proves the hot path
+# still runs end to end, and its wall time must stay within 25% of the
+# recorded baseline (tools/bench_fig02_baseline.txt, ns/op). If no baseline
+# is recorded yet, this run records one instead of gating. Regenerate the
+# baseline deliberately — on the reference machine — after intentional
+# hot-path changes: tools/ci.sh prints the measured value to copy in.
+echo "== bench gate (BenchmarkFig02 x1, <= 1.25x baseline)"
+fig02_raw="$(go test -bench BenchmarkFig02 -benchtime 1x -run '^$' .)"
+echo "$fig02_raw"
+fig02_ns="$(echo "$fig02_raw" | awk '/^BenchmarkFig02/ { for (i = 1; i <= NF; i++) if ($i == "ns/op") print $(i-1) }')"
+baseline_file="tools/bench_fig02_baseline.txt"
+if [[ -z "$fig02_ns" ]]; then
+	echo "ci: FAIL could not parse BenchmarkFig02 ns/op" >&2
+	exit 1
+fi
+if [[ ! -s "$baseline_file" ]]; then
+	echo "$fig02_ns" >"$baseline_file"
+	echo "ci: recorded new BenchmarkFig02 baseline ${fig02_ns} ns/op in $baseline_file"
+else
+	baseline_ns="$(cat "$baseline_file")"
+	limit_ns=$((baseline_ns + baseline_ns / 4))
+	echo "ci: BenchmarkFig02 ${fig02_ns} ns/op (baseline ${baseline_ns}, limit ${limit_ns})"
+	if ((fig02_ns > limit_ns)); then
+		echo "ci: FAIL BenchmarkFig02 regressed >25% vs $baseline_file" >&2
+		exit 1
+	fi
+fi
 
 echo "ci: ok"
