@@ -28,6 +28,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"gpummu/internal/config"
 	"gpummu/internal/experiments"
@@ -46,6 +47,11 @@ func main() {
 		par      = flag.Int("par", 1, "goroutines ticking cores inside each simulation (output is identical for any value)")
 		machine  = flag.String("machine", "baseline", "machine preset: baseline|small")
 		coresOvr = flag.Int("cores", 0, "override shader core count (0 = preset)")
+		sample   = flag.Uint64("sample", 0, "record a time-series sample every N cycles in every run")
+		smplDir  = flag.String("sampledir", "", "write each run's sampled series as CSV into this directory (requires -sample)")
+		watchdog = flag.Uint64("watchdog", 0, "abort a run when no thread block retires for N cycles (0 = off)")
+		maxCyc   = flag.Uint64("maxcycles", 0, "per-run simulated cycle budget (0 = unbounded)")
+		deadline = flag.Duration("deadline", 0, "wall-clock budget for the whole report, e.g. 10m (0 = none)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -86,6 +92,19 @@ func main() {
 		}
 	}
 
+	if *smplDir != "" && *sample == 0 {
+		fatal("-sampledir requires -sample")
+	}
+	ob := experiments.ObsOptions{
+		SampleEvery: *sample,
+		SampleDir:   *smplDir,
+		Watchdog:    *watchdog,
+		MaxCycles:   *maxCyc,
+	}
+	if *deadline > 0 {
+		ob.Deadline = time.Now().Add(*deadline)
+	}
+
 	opt := experiments.Options{
 		Size:        sz,
 		Seed:        *seed,
@@ -93,6 +112,7 @@ func main() {
 		Workers:     *workers,
 		Verbose:     *verbose,
 		CoreWorkers: *par,
+		Obs:         ob,
 	}
 	if *wl != "" {
 		opt.Workload = strings.Split(*wl, ",")

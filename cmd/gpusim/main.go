@@ -29,6 +29,7 @@ import (
 
 	"gpummu/internal/config"
 	"gpummu/internal/gpu"
+	"gpummu/internal/obs"
 	"gpummu/internal/stats"
 	"gpummu/internal/workloads"
 
@@ -55,7 +56,14 @@ func main() {
 		par      = flag.Int("par", 1, "goroutines ticking cores inside one simulation (output is identical for any value)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		asJSON   = flag.Bool("json", false, "emit statistics as JSON")
-		trace    = flag.Int("trace", 0, "dump the last N simulation events to stderr (single workload only)")
+		events   = flag.Int("events", 0, "dump the last N simulation events to stderr (single workload only)")
+		trace    = flag.String("trace", "", "write a Chrome trace-event JSON file, loadable in Perfetto (single workload only)")
+		sample   = flag.Uint64("sample", 0, "record a time-series sample every N cycles (single workload only)")
+		sampleTo = flag.String("samplefile", "", "CSV destination for -sample (default <workload>.samples.csv)")
+		metrics  = flag.String("metrics", "", "write the labelled metrics registry to this file; '-' means stderr (single workload only)")
+		watchdog = flag.Uint64("watchdog", 0, "abort when no thread block retires for N cycles (0 = off)")
+		maxCyc   = flag.Uint64("maxcycles", 0, "abort after N simulated cycles (0 = unbounded)")
+		deadline = flag.Duration("deadline", 0, "wall-clock budget for the run, e.g. 30s (0 = none)")
 		progress = flag.Bool("v", false, "log per-run completion to stderr")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -163,8 +171,27 @@ func main() {
 	if len(names) == 0 {
 		fatal("no workloads given")
 	}
-	if *trace > 0 && len(names) > 1 {
-		fatal("-trace needs a single workload")
+	if len(names) > 1 {
+		for _, f := range []struct {
+			name string
+			on   bool
+		}{
+			{"-events", *events > 0}, {"-trace", *trace != ""},
+			{"-sample", *sample > 0}, {"-metrics", *metrics != ""},
+		} {
+			if f.on {
+				fatal("%s needs a single workload", f.name)
+			}
+		}
+	}
+	if *events > 0 && *trace != "" {
+		fatal("-events and -trace both claim the tracer; choose one")
+	}
+
+	// The deadline covers the whole command, so anchor it before fan-out.
+	var deadlineAt time.Time
+	if *deadline > 0 {
+		deadlineAt = time.Now().Add(*deadline)
 	}
 
 	type outcome struct {
@@ -186,14 +213,58 @@ func main() {
 			return outcome{err: err}
 		}
 		g.Workers = *par
+		g.WatchdogWindow = *watchdog
+		g.MaxCycles = *maxCyc
+		g.Deadline = deadlineAt
 		var ring *gpu.RingTracer
-		if *trace > 0 {
-			ring = gpu.NewRingTracer(*trace)
+		if *events > 0 {
+			ring = gpu.NewRingTracer(*events)
 			g.SetTracer(ring)
 		}
+		var ct *gpu.ChromeTracer
+		var traceFile *os.File
+		if *trace != "" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				return outcome{err: fmt.Errorf("-trace: %w", err)}
+			}
+			traceFile = f
+			ct = gpu.NewChromeTracer(f, cfg.NumCores)
+			g.SetTracer(ct)
+		}
+		if *sample > 0 {
+			g.Sampler = obs.NewSampler(*sample, 0)
+		}
+		if *metrics != "" {
+			g.Metrics = obs.NewRegistry()
+		}
 		cycles, err := g.Run(w.Launch)
+		if ct != nil {
+			// Close the trace document even on abort: a partial but
+			// well-formed trace is exactly what livelock debugging needs.
+			if cerr := ct.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("-trace: %w", cerr)
+			}
+			if cerr := traceFile.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("-trace: %w", cerr)
+			}
+		}
 		if err != nil {
 			return outcome{err: fmt.Errorf("%s: %w", name, err)}
+		}
+		if g.Sampler != nil {
+			dst := *sampleTo
+			if dst == "" {
+				dst = name + ".samples.csv"
+			}
+			if err := writeSamples(g.Sampler, dst); err != nil {
+				return outcome{err: err}
+			}
+		}
+		if g.Metrics != nil {
+			if err := writeMetrics(g.Metrics, *metrics); err != nil {
+				return outcome{err: err}
+			}
 		}
 		if w.Check != nil {
 			if err := w.Check(); err != nil {
@@ -312,6 +383,35 @@ func startProfiles(cpu, heap string) func() {
 			f.Close()
 		}
 	}
+}
+
+// writeSamples persists the run's cycle-sampled time series as CSV.
+func writeSamples(smp *obs.Sampler, dst string) error {
+	f, err := os.Create(dst)
+	if err != nil {
+		return fmt.Errorf("-sample: %w", err)
+	}
+	if err := smp.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("-sample: %w", err)
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the labelled metrics registry; dst "-" means stderr.
+func writeMetrics(reg *obs.Registry, dst string) error {
+	if dst == "-" {
+		return reg.WriteText(os.Stderr)
+	}
+	f, err := os.Create(dst)
+	if err != nil {
+		return fmt.Errorf("-metrics: %w", err)
+	}
+	if err := reg.WriteText(f); err != nil {
+		f.Close()
+		return fmt.Errorf("-metrics: %w", err)
+	}
+	return f.Close()
 }
 
 // writeText renders the classic human-readable per-run report.

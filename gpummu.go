@@ -17,14 +17,29 @@
 //	cfg.MMU = gpummu.AugmentedMMU()
 //	rep, err := gpummu.RunWorkload("bfs", gpummu.SizeSmall, cfg, 1)
 //	fmt.Println(rep.Cycles, rep.TLBMissRate())
+//
+// The context-aware Run entry point adds observability on top: cycle-sampled
+// time series, Chrome trace output, labelled metric breakdowns, watchdog and
+// deadline guards:
+//
+//	rep, err := gpummu.Run(ctx,
+//	    gpummu.WithConfig(cfg),
+//	    gpummu.WithWorkload("bfs", gpummu.SizeSmall),
+//	    gpummu.WithSampler(gpummu.NewSampler(1000, 0)),
+//	    gpummu.WithTrace(traceFile),
+//	    gpummu.WithWatchdog(5_000_000))
 package gpummu
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"time"
 
 	"gpummu/internal/config"
 	"gpummu/internal/gpu"
 	"gpummu/internal/kernels"
+	"gpummu/internal/obs"
 	"gpummu/internal/stats"
 	"gpummu/internal/vm"
 	"gpummu/internal/workloads"
@@ -94,6 +109,39 @@ func WorkloadNames() []string { return workloads.Names() }
 // PaperWorkloads returns the paper's six workloads in figure order.
 func PaperWorkloads() []string { return workloads.PaperSet() }
 
+// Observability types, re-exported from internal/obs so callers never
+// import internal packages.
+type (
+	// Sampler records an interval time series into a bounded ring buffer;
+	// attach one with WithSampler.
+	Sampler = obs.Sampler
+	// Sample is one time-series row: cumulative counters plus occupancy.
+	Sample = obs.Sample
+	// Registry holds hierarchically labelled metric breakdowns (per-core,
+	// per-walker, per-L2-slice); attach one with WithMetrics.
+	Registry = obs.Registry
+	// Progress is the snapshot passed to a WithProgress callback.
+	Progress = obs.Progress
+	// AbortError is the typed error an aborted run returns, carrying the
+	// sentinel cause, the cycle, and a diagnostic state dump.
+	AbortError = obs.AbortError
+)
+
+// Typed abort causes, matched with errors.Is against a failed Run's error.
+var (
+	ErrLivelock  = obs.ErrLivelock  // watchdog saw no thread block retire
+	ErrDeadlock  = obs.ErrDeadlock  // no core has a runnable event
+	ErrMaxCycles = obs.ErrMaxCycles // cycle budget exceeded
+	ErrDeadline  = obs.ErrDeadline  // wall-clock deadline passed
+)
+
+// NewSampler creates a sampler recording every `every` cycles, retaining
+// the most recent capacity samples (capacity <= 0 selects the default).
+func NewSampler(every uint64, capacity int) *Sampler { return obs.NewSampler(every, capacity) }
+
+// NewRegistry creates an empty metrics registry for WithMetrics.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
 // Report is the outcome of one simulation: every statistic the paper's
 // figures draw from. It embeds the raw statistics and records the
 // workload/config identity.
@@ -101,6 +149,14 @@ type Report struct {
 	stats.Sim
 	Workload string
 	Verified bool // functional check ran and passed
+
+	// Series is the sampled time series when a WithSampler option was
+	// given (nil otherwise). The final row's cumulative columns equal the
+	// embedded end-of-run statistics.
+	Series []Sample
+	// Metrics is the labelled registry when a WithMetrics option was given
+	// (nil otherwise).
+	Metrics *Registry
 }
 
 // Speedup returns this run's speedup relative to a baseline run of the
@@ -113,38 +169,246 @@ func (r *Report) Speedup(baseline *Report) float64 {
 	return float64(baseline.Cycles) / float64(r.Cycles)
 }
 
+// runSpec is the resolved description of one simulation, assembled by
+// RunOptions and executed by runSim.
+type runSpec struct {
+	cfg    Config
+	cfgSet bool
+
+	workload string // build this named workload...
+	size     Size
+	seed     uint64
+	built    *workloads.Workload // ...or run this pre-built one...
+	as       *vm.AddressSpace    // ...or this custom kernel launch
+	launch   *kernels.Launch
+
+	check func() error // functional verification after the run
+
+	workers       int
+	maxCycles     uint64
+	watchdog      uint64
+	deadline      time.Time
+	sampler       *Sampler
+	traceW        io.Writer
+	metrics       *Registry
+	progress      func(Progress)
+	progressEvery uint64
+}
+
+// RunOption configures one simulation passed to Run.
+type RunOption func(*runSpec)
+
+// WithConfig sets the machine configuration. Without it, Run uses
+// BaselineConfig.
+func WithConfig(cfg Config) RunOption {
+	return func(s *runSpec) { s.cfg = cfg; s.cfgSet = true }
+}
+
+// WithWorkload selects one of the registered workloads at the given scale,
+// built fresh for this run (with the seed from WithSeed, default 1).
+func WithWorkload(name string, size Size) RunOption {
+	return func(s *runSpec) { s.workload = name; s.size = size }
+}
+
+// WithSeed sets the dataset construction seed for WithWorkload.
+func WithSeed(seed uint64) RunOption {
+	return func(s *runSpec) { s.seed = seed }
+}
+
+// WithBuilt runs an already-constructed workload (from BuildWorkload). The
+// same built workload must not be reused across runs because kernels mutate
+// their data.
+func WithBuilt(w *workloads.Workload) RunOption {
+	return func(s *runSpec) { s.built = w }
+}
+
+// WithKernel runs a custom kernel launch over the given address space. Pair
+// with WithCheck to get a Verified report.
+func WithKernel(as *vm.AddressSpace, l *kernels.Launch) RunOption {
+	return func(s *runSpec) { s.as = as; s.launch = l }
+}
+
+// WithCheck sets (or, for workload runs, replaces) the functional
+// verification run after the kernel completes; its failure fails the run.
+func WithCheck(fn func() error) RunOption {
+	return func(s *runSpec) { s.check = fn }
+}
+
+// WithWorkers sets how many host goroutines tick cores (the -par knob).
+// Simulation output is byte-identical for any value.
+func WithWorkers(n int) RunOption {
+	return func(s *runSpec) { s.workers = n }
+}
+
+// WithMaxCycles aborts the run with ErrMaxCycles past this simulated cycle
+// (0 means no limit).
+func WithMaxCycles(n uint64) RunOption {
+	return func(s *runSpec) { s.maxCycles = n }
+}
+
+// WithWatchdog aborts the run with ErrLivelock when no thread block retires
+// for the given number of cycles — the forward-progress signal a spinning
+// kernel cannot fake (0 disables).
+func WithWatchdog(cycles uint64) RunOption {
+	return func(s *runSpec) { s.watchdog = cycles }
+}
+
+// WithDeadline aborts the run with ErrDeadline once the wall clock passes t.
+func WithDeadline(t time.Time) RunOption {
+	return func(s *runSpec) { s.deadline = t }
+}
+
+// WithSampler records an interval time series into smp during the run; the
+// report's Series holds the retained rows.
+func WithSampler(smp *Sampler) RunOption {
+	return func(s *runSpec) { s.sampler = smp }
+}
+
+// WithTrace streams a Chrome trace-event JSON document (Perfetto-loadable)
+// to w: per-core execution and walker tracks, plus counter tracks at every
+// sampler boundary when WithSampler is also given. Tracing is the only
+// observability option with a per-event cost; with it absent the hot path
+// stays allocation-free.
+func WithTrace(w io.Writer) RunOption {
+	return func(s *runSpec) { s.traceW = w }
+}
+
+// WithMetrics collects labelled per-core/per-walker/per-L2-slice breakdowns
+// into r at the end of the run; the report's Metrics points at it.
+func WithMetrics(r *Registry) RunOption {
+	return func(s *runSpec) { s.metrics = r }
+}
+
+// WithProgress calls fn roughly every `every` cycles (0 picks a default)
+// with a cheap snapshot of the run.
+func WithProgress(fn func(Progress), every uint64) RunOption {
+	return func(s *runSpec) { s.progress = fn; s.progressEvery = every }
+}
+
+// Run executes one simulation described by opts under ctx and returns its
+// report. Exactly one workload source must be given: WithWorkload, WithBuilt,
+// or WithKernel. A cancelled context, a passed WithDeadline, a tripped
+// WithWatchdog, or an exceeded WithMaxCycles aborts the run with an
+// *AbortError whose cause matches the corresponding sentinel via errors.Is.
+func Run(ctx context.Context, opts ...RunOption) (*Report, error) {
+	spec := runSpec{seed: 1}
+	for _, o := range opts {
+		o(&spec)
+	}
+	return runSim(ctx, &spec)
+}
+
+// runSim is the single execution path behind Run and the deprecated
+// wrappers: it resolves the workload source, wires the observability
+// options, runs the kernel, and applies the functional check. Keeping one
+// helper keeps error formatting and the Verified gate uniform (RunKernel
+// historically skipped both).
+func runSim(ctx context.Context, spec *runSpec) (*Report, error) {
+	cfg := spec.cfg
+	if !spec.cfgSet {
+		cfg = BaselineConfig()
+	}
+
+	sources := 0
+	for _, set := range []bool{spec.workload != "", spec.built != nil, spec.launch != nil} {
+		if set {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, fmt.Errorf("gpummu: exactly one of WithWorkload, WithBuilt, WithKernel must be given (got %d)", sources)
+	}
+
+	name := spec.workload
+	as := spec.as
+	launch := spec.launch
+	check := spec.check
+	switch {
+	case spec.workload != "":
+		w, err := workloads.Build(spec.workload, spec.size, cfg.PageShift, spec.seed)
+		if err != nil {
+			return nil, fmt.Errorf("gpummu: building %s: %w", spec.workload, err)
+		}
+		as, launch = w.AS, w.Launch
+		if check == nil {
+			check = w.Check
+		}
+	case spec.built != nil:
+		name = spec.built.Name
+		as, launch = spec.built.AS, spec.built.Launch
+		if check == nil {
+			check = spec.built.Check
+		}
+	default:
+		name = launch.Program.Name
+		if as == nil {
+			return nil, fmt.Errorf("gpummu: WithKernel needs a non-nil address space")
+		}
+	}
+
+	st := &stats.Sim{}
+	g, err := gpu.New(cfg, as, st)
+	if err != nil {
+		return nil, fmt.Errorf("gpummu: configuring %s: %w", name, err)
+	}
+	g.Workers = spec.workers
+	g.MaxCycles = spec.maxCycles
+	g.WatchdogWindow = spec.watchdog
+	g.Deadline = spec.deadline
+	g.Sampler = spec.sampler
+	g.Metrics = spec.metrics
+	g.Progress = spec.progress
+	g.ProgressEvery = spec.progressEvery
+	if ctx != nil && ctx != context.Background() {
+		g.Ctx = ctx
+	}
+	var tracer *gpu.ChromeTracer
+	if spec.traceW != nil {
+		tracer = gpu.NewChromeTracer(spec.traceW, cfg.NumCores)
+		g.SetTracer(tracer)
+	}
+
+	_, runErr := g.Run(launch)
+	if tracer != nil {
+		// Close even on failure so a partial trace is still valid JSON.
+		if cerr := tracer.Close(); cerr != nil && runErr == nil {
+			runErr = fmt.Errorf("writing trace: %w", cerr)
+		}
+	}
+	if runErr != nil {
+		return nil, fmt.Errorf("gpummu: running %s: %w", name, runErr)
+	}
+
+	rep := &Report{Sim: *st, Workload: name, Metrics: spec.metrics}
+	if spec.sampler != nil {
+		rep.Series = spec.sampler.Samples()
+	}
+	if check != nil {
+		if err := check(); err != nil {
+			return nil, fmt.Errorf("gpummu: functional check for %s: %w", name, err)
+		}
+		rep.Verified = true
+	}
+	return rep, nil
+}
+
 // RunWorkload builds the named workload at the given scale and runs it on
 // a machine with cfg, returning the report. The workload's functional
 // check runs afterwards; a check failure is an error (the simulator must
 // compute real results, not just traffic).
+//
+// Deprecated: use Run with WithConfig, WithWorkload, and WithSeed.
 func RunWorkload(name string, size Size, cfg Config, seed uint64) (*Report, error) {
-	w, err := workloads.Build(name, size, cfg.PageShift, seed)
-	if err != nil {
-		return nil, err
-	}
-	return RunBuilt(w, cfg)
+	return Run(context.Background(), WithConfig(cfg), WithWorkload(name, size), WithSeed(seed))
 }
 
 // RunBuilt runs an already-constructed workload (from BuildWorkload) on a
 // machine with cfg. The same built workload must not be reused across runs
 // because kernels mutate their data.
+//
+// Deprecated: use Run with WithConfig and WithBuilt.
 func RunBuilt(w *workloads.Workload, cfg Config) (*Report, error) {
-	st := &stats.Sim{}
-	g, err := gpu.New(cfg, w.AS, st)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := g.Run(w.Launch); err != nil {
-		return nil, fmt.Errorf("gpummu: running %s: %w", w.Name, err)
-	}
-	rep := &Report{Sim: *st, Workload: w.Name}
-	if w.Check != nil {
-		if err := w.Check(); err != nil {
-			return nil, fmt.Errorf("gpummu: functional check failed: %w", err)
-		}
-		rep.Verified = true
-	}
-	return rep, nil
+	return Run(context.Background(), WithConfig(cfg), WithBuilt(w))
 }
 
 // BuildWorkload constructs a workload without running it, for callers that
@@ -156,16 +420,11 @@ func BuildWorkload(name string, size Size, pageShift uint, seed uint64) (*worklo
 // RunKernel executes a custom kernel launch over the given address space
 // with cfg, for users building their own workloads against the public ISA
 // in internal/kernels (re-exported by examples).
+//
+// Deprecated: use Run with WithConfig and WithKernel (and WithCheck to get
+// a Verified report).
 func RunKernel(cfg Config, as *vm.AddressSpace, l *kernels.Launch) (*Report, error) {
-	st := &stats.Sim{}
-	g, err := gpu.New(cfg, as, st)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := g.Run(l); err != nil {
-		return nil, err
-	}
-	return &Report{Sim: *st, Workload: l.Program.Name}, nil
+	return Run(context.Background(), WithConfig(cfg), WithKernel(as, l))
 }
 
 // NewAddressSpace creates a fresh simulated address space for custom

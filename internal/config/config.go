@@ -307,26 +307,117 @@ func (h *Hardware) IssuePeriod() int {
 	return p
 }
 
-// Validate reports configuration errors early.
+// FieldError reports one invalid configuration field by its dotted path
+// (e.g. "MMU.Entries"), so callers can point at the exact knob instead of
+// parsing a message. Validate returns a *FieldError for every failure;
+// retrieve it with errors.As.
+type FieldError struct {
+	Field string // dotted field path within Hardware
+	Value any    // the rejected value
+	Msg   string // what a valid value looks like
+}
+
+// Error implements error.
+func (e *FieldError) Error() string {
+	return fmt.Sprintf("config: %s = %v: %s", e.Field, e.Value, e.Msg)
+}
+
+// badField builds the standard validation failure.
+func badField(field string, value any, msg string) error {
+	return &FieldError{Field: field, Value: value, Msg: msg}
+}
+
+// ccwsFamily reports whether the policy keeps CCWS locality state.
+func (p SchedulerPolicy) ccwsFamily() bool {
+	return p == SchedCCWS || p == SchedTACCWS || p == SchedTCWS
+}
+
+// Validate reports configuration errors early, before any simulator state is
+// built. Every failure is a *FieldError naming the offending field.
 func (h *Hardware) Validate() error {
 	switch {
 	case h.NumCores < 1:
-		return fmt.Errorf("config: NumCores %d < 1", h.NumCores)
-	case h.WarpWidth < 1 || h.WarpWidth > 64:
-		return fmt.Errorf("config: WarpWidth %d out of range", h.WarpWidth)
+		return badField("NumCores", h.NumCores, "must be >= 1")
 	case h.WarpsPerCore < 1:
-		return fmt.Errorf("config: WarpsPerCore %d < 1", h.WarpsPerCore)
+		return badField("WarpsPerCore", h.WarpsPerCore, "must be >= 1")
+	case h.WarpWidth < 1 || h.WarpWidth > 64:
+		return badField("WarpWidth", h.WarpWidth, "must be in 1..64")
+	case h.IssueWidth < 1:
+		return badField("IssueWidth", h.IssueWidth, "must be >= 1")
+	case h.L1LineSize < 1 || h.L1LineSize&(h.L1LineSize-1) != 0:
+		return badField("L1LineSize", h.L1LineSize, "must be a power of two")
+	case h.L1Assoc < 1:
+		return badField("L1Assoc", h.L1Assoc, "must be >= 1")
 	case h.L1Bytes%(h.L1LineSize*h.L1Assoc) != 0:
-		return fmt.Errorf("config: L1 geometry %d/%d/%d invalid", h.L1Bytes, h.L1LineSize, h.L1Assoc)
+		return badField("L1Bytes", h.L1Bytes, fmt.Sprintf("must be a multiple of L1LineSize*L1Assoc (%d)", h.L1LineSize*h.L1Assoc))
+	case h.NumPartitions < 1:
+		return badField("NumPartitions", h.NumPartitions, "must be >= 1")
+	case h.L2Assoc < 1:
+		return badField("L2Assoc", h.L2Assoc, "must be >= 1")
+	case h.L2BytesPerPart%(h.L1LineSize*h.L2Assoc) != 0:
+		return badField("L2BytesPerPart", h.L2BytesPerPart, fmt.Sprintf("must be a multiple of L1LineSize*L2Assoc (%d)", h.L1LineSize*h.L2Assoc))
+	case h.ICNTLatency < 0:
+		return badField("ICNTLatency", h.ICNTLatency, "must be >= 0")
+	case h.DRAMLatency < 0:
+		return badField("DRAMLatency", h.DRAMLatency, "must be >= 0")
+	case h.DRAMBusy < 1:
+		return badField("DRAMBusy", h.DRAMBusy, "must be >= 1 (channel occupancy per access)")
 	case h.PageShift != 12 && h.PageShift != 21:
-		return fmt.Errorf("config: PageShift %d unsupported", h.PageShift)
+		return badField("PageShift", h.PageShift, "must be 12 (4 KB) or 21 (2 MB)")
 	}
 	if h.MMU.Enabled {
-		if h.MMU.Entries < h.MMU.Assoc || h.MMU.Assoc < 1 {
-			return fmt.Errorf("config: TLB geometry %d entries/%d-way invalid", h.MMU.Entries, h.MMU.Assoc)
+		m := &h.MMU
+		switch {
+		case m.Assoc < 1:
+			return badField("MMU.Assoc", m.Assoc, "must be >= 1 when the MMU is enabled")
+		case m.Entries < m.Assoc || m.Entries%m.Assoc != 0:
+			return badField("MMU.Entries", m.Entries, fmt.Sprintf("must be a positive multiple of MMU.Assoc (%d)", m.Assoc))
+		case m.Ports < 1:
+			return badField("MMU.Ports", m.Ports, "must be >= 1")
+		case m.NumPTWs < 1:
+			return badField("MMU.NumPTWs", m.NumPTWs, "must be >= 1")
+		case m.MSHRs < 1:
+			return badField("MMU.MSHRs", m.MSHRs, "must be >= 1")
+		case m.SharedTLBEntries < 0:
+			return badField("MMU.SharedTLBEntries", m.SharedTLBEntries, "must be >= 0 (0 disables the shared tier)")
+		case m.PWCEntries < 0:
+			return badField("MMU.PWCEntries", m.PWCEntries, "must be >= 0 (0 disables the page walk cache)")
+		case m.SoftwareWalks && m.SoftwareWalkOverhead < 0:
+			return badField("MMU.SoftwareWalkOverhead", m.SoftwareWalkOverhead, "must be >= 0")
 		}
-		if h.MMU.Ports < 1 || h.MMU.NumPTWs < 1 || h.MMU.MSHRs < 1 {
-			return fmt.Errorf("config: MMU ports/PTWs/MSHRs must be >= 1")
+	}
+	s := &h.Sched
+	if s.Policy > SchedTCWS {
+		return badField("Sched.Policy", s.Policy, "unknown scheduler policy")
+	}
+	if s.Policy.ccwsFamily() {
+		switch {
+		case s.VTAEntriesPerWarp < 1:
+			return badField("Sched.VTAEntriesPerWarp", s.VTAEntriesPerWarp, "must be >= 1 for CCWS-family schedulers")
+		case s.VTAAssoc < 1:
+			// Entries below the associativity are legal: the VTA clamps its
+			// geometry (paper sweeps 2..16 entries against 8-way arrays).
+			return badField("Sched.VTAAssoc", s.VTAAssoc, "must be >= 1 for CCWS-family schedulers")
+		case s.ActivePool < 1:
+			return badField("Sched.ActivePool", s.ActivePool, "must be >= 1 for CCWS-family schedulers")
+		case s.DecayPeriod < 0:
+			return badField("Sched.DecayPeriod", s.DecayPeriod, "must be >= 0 (0 disables decay)")
+		case s.TLBMissWeight < 1:
+			return badField("Sched.TLBMissWeight", s.TLBMissWeight, "must be >= 1 (1 disables TLB-aware weighting)")
+		}
+	}
+	t := &h.TBC
+	if t.Mode > DivTLBTBC {
+		return badField("TBC.Mode", t.Mode, "unknown divergence mode")
+	}
+	if t.Mode == DivTLBTBC {
+		switch {
+		case t.CPMBits < 1 || t.CPMBits > 8:
+			return badField("TBC.CPMBits", t.CPMBits, "must be in 1..8 for TLB-aware TBC")
+		case t.CPMFlushPeriod < 1:
+			return badField("TBC.CPMFlushPeriod", t.CPMFlushPeriod, "must be >= 1 for TLB-aware TBC")
+		case t.CPMHistory < 1:
+			return badField("TBC.CPMHistory", t.CPMHistory, "must be >= 1 for TLB-aware TBC")
 		}
 	}
 	return nil

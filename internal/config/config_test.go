@@ -80,6 +80,109 @@ func TestAccessPenaltyTiers(t *testing.T) {
 	}
 }
 
+// TestValidateFieldErrors pins the typed-validation contract: every failure
+// is a *FieldError naming the exact offending field.
+func TestValidateFieldErrors(t *testing.T) {
+	cases := []struct {
+		field string
+		mut   func(*Hardware)
+	}{
+		{"NumCores", func(h *Hardware) { h.NumCores = 0 }},
+		{"WarpsPerCore", func(h *Hardware) { h.WarpsPerCore = -1 }},
+		{"WarpWidth", func(h *Hardware) { h.WarpWidth = 65 }},
+		{"IssueWidth", func(h *Hardware) { h.IssueWidth = 0 }},
+		{"L1LineSize", func(h *Hardware) { h.L1LineSize = 96 }},
+		{"L1Assoc", func(h *Hardware) { h.L1Assoc = 0 }},
+		{"L1Bytes", func(h *Hardware) { h.L1Bytes = 1000 }},
+		{"NumPartitions", func(h *Hardware) { h.NumPartitions = 0 }},
+		{"L2Assoc", func(h *Hardware) { h.L2Assoc = 0 }},
+		{"L2BytesPerPart", func(h *Hardware) { h.L2BytesPerPart = 1000 }},
+		{"ICNTLatency", func(h *Hardware) { h.ICNTLatency = -1 }},
+		{"DRAMLatency", func(h *Hardware) { h.DRAMLatency = -1 }},
+		{"DRAMBusy", func(h *Hardware) { h.DRAMBusy = 0 }},
+		{"PageShift", func(h *Hardware) { h.PageShift = 13 }},
+		{"MMU.Assoc", func(h *Hardware) { m := NaiveMMU(4); m.Assoc = 0; h.MMU = m }},
+		{"MMU.Entries", func(h *Hardware) { m := NaiveMMU(4); m.Entries = 130; h.MMU = m }},
+		{"MMU.Ports", func(h *Hardware) { h.MMU = NaiveMMU(0) }},
+		{"MMU.NumPTWs", func(h *Hardware) { m := NaiveMMU(4); m.NumPTWs = 0; h.MMU = m }},
+		{"MMU.MSHRs", func(h *Hardware) { m := NaiveMMU(4); m.MSHRs = 0; h.MMU = m }},
+		{"MMU.SharedTLBEntries", func(h *Hardware) { m := NaiveMMU(4); m.SharedTLBEntries = -1; h.MMU = m }},
+		{"MMU.PWCEntries", func(h *Hardware) { m := NaiveMMU(4); m.PWCEntries = -1; h.MMU = m }},
+		{"MMU.SoftwareWalkOverhead", func(h *Hardware) {
+			m := NaiveMMU(4)
+			m.SoftwareWalks = true
+			m.SoftwareWalkOverhead = -1
+			h.MMU = m
+		}},
+		{"Sched.Policy", func(h *Hardware) { h.Sched.Policy = SchedulerPolicy(99) }},
+		{"Sched.VTAEntriesPerWarp", func(h *Hardware) {
+			h.Sched.Policy = SchedCCWS
+			h.Sched.VTAEntriesPerWarp = 0
+		}},
+		{"Sched.VTAAssoc", func(h *Hardware) {
+			h.Sched.Policy = SchedCCWS
+			h.Sched.VTAAssoc = 0
+		}},
+		{"Sched.ActivePool", func(h *Hardware) {
+			h.Sched.Policy = SchedTCWS
+			h.Sched.ActivePool = 0
+		}},
+		{"Sched.DecayPeriod", func(h *Hardware) {
+			h.Sched.Policy = SchedCCWS
+			h.Sched.DecayPeriod = -1
+		}},
+		{"Sched.TLBMissWeight", func(h *Hardware) {
+			h.Sched.Policy = SchedTACCWS
+			h.Sched.TLBMissWeight = 0
+		}},
+		{"TBC.Mode", func(h *Hardware) { h.TBC.Mode = DivergenceMode(9) }},
+		{"TBC.CPMBits", func(h *Hardware) {
+			h.TBC.Mode = DivTLBTBC
+			h.TBC.CPMBits = 0
+		}},
+		{"TBC.CPMFlushPeriod", func(h *Hardware) {
+			h.TBC.Mode = DivTLBTBC
+			h.TBC.CPMFlushPeriod = 0
+		}},
+		{"TBC.CPMHistory", func(h *Hardware) {
+			h.TBC.Mode = DivTLBTBC
+			h.TBC.CPMHistory = 0
+		}},
+	}
+	for _, c := range cases {
+		h := Baseline()
+		c.mut(&h)
+		err := h.Validate()
+		if err == nil {
+			t.Errorf("%s: bad config validated", c.field)
+			continue
+		}
+		fe, ok := err.(*FieldError)
+		if !ok {
+			t.Errorf("%s: error is %T, not *FieldError: %v", c.field, err, err)
+			continue
+		}
+		if fe.Field != c.field {
+			t.Errorf("wrong field: got %q want %q (%v)", fe.Field, c.field, err)
+		}
+		if fe.Msg == "" || !strings.Contains(err.Error(), fe.Field) {
+			t.Errorf("%s: unhelpful message %q", c.field, err.Error())
+		}
+	}
+}
+
+// TestValidateAcceptsDisabledMMUModes pins a trap the per-mode rules must
+// not fall into: DivTLBTBC is legal with the MMU disabled (the CPM then
+// never observes TLB hits but the pipeline still compacts), which the
+// execution tests rely on.
+func TestValidateAcceptsDisabledMMUModes(t *testing.T) {
+	h := SmallTest()
+	h.TBC.Mode = DivTLBTBC
+	if err := h.Validate(); err != nil {
+		t.Fatalf("DivTLBTBC without MMU rejected: %v", err)
+	}
+}
+
 func TestValidateCatchesBadConfigs(t *testing.T) {
 	bad := []func(*Hardware){
 		func(h *Hardware) { h.NumCores = 0 },

@@ -56,6 +56,11 @@ type MMU struct {
 	outstanding []outWalk
 	pending     map[uint64]engine.Cycle // vpn -> walk completion
 
+	// walkerWalks counts completed walks per walk-state slot (serial mode)
+	// or on slot 0 (scheduled and software modes, which model one logical
+	// walker). Cumulative over the MMU's lifetime; observability only.
+	walkerWalks []uint64
+
 	cpm      *CPM         // non-nil only under TLB-aware TBC
 	shared   *SharedTLB   // non-nil only with the shared-L2-TLB extension
 	pwc      *PWC         // non-nil only with the page-walk-cache extension
@@ -76,6 +81,7 @@ func NewMMU(cfg config.MMU, sys *mem.System, tr *vm.Translator, st *stats.Sim, h
 		// Each hardware walker pipelines wc outstanding walks; a walk
 		// occupies one of its walk-state slots for its full duration.
 		m.walkers = make([]engine.Cycle, cfg.NumPTWs*wc)
+		m.walkerWalks = make([]uint64, len(m.walkers))
 		m.reuse = make(map[uint64]engine.Cycle)
 		m.pending = make(map[uint64]engine.Cycle)
 		if cfg.PWCEntries > 0 {
@@ -155,6 +161,36 @@ func (m *MMU) NextEvent(now engine.Cycle) engine.Cycle {
 func (m *MMU) OutstandingWalks(now engine.Cycle) int {
 	m.prune(now)
 	return len(m.outstanding)
+}
+
+// WalkerWalks returns the cumulative completed-walk count per walk-state
+// slot (nil when the MMU is disabled). The slice is live; callers must not
+// mutate it.
+func (m *MMU) WalkerWalks() []uint64 { return m.walkerWalks }
+
+// Occupancy reports how many walk-state slots and miss-status registers are
+// busy at cycle now. Unlike OutstandingWalks it mutates nothing — prune
+// clears the PTE reuse window as a side effect, which would perturb walk
+// timing — so the interval sampler may call it at any cycle boundary without
+// changing simulation output.
+func (m *MMU) Occupancy(now engine.Cycle) (walkersBusy, mshrsUsed int) {
+	if !m.cfg.Enabled {
+		return 0, 0
+	}
+	for _, free := range m.walkers {
+		if free > now {
+			walkersBusy++
+		}
+	}
+	if (m.cfg.PTWSched && m.issuePort > now) || (m.cfg.SoftwareWalks && m.swWalker > now) {
+		walkersBusy++
+	}
+	for _, w := range m.outstanding {
+		if w.done > now {
+			mshrsUsed++
+		}
+	}
+	return walkersBusy, mshrsUsed
 }
 
 // Lookup translates a warp's distinct page requests at cycle now. Results
@@ -333,9 +369,11 @@ func (m *MMU) lookupMiss(lookupAt engine.Cycle, r PageReq, out *PageResult) {
 // fetches (paper figure 9).
 func (m *MMU) walk(reqAt engine.Cycle, tr vm.Translation) engine.Cycle {
 	if m.cfg.SoftwareWalks {
+		m.walkerWalks[0]++
 		return m.walkSoftware(reqAt, tr)
 	}
 	if m.cfg.PTWSched {
+		m.walkerWalks[0]++
 		return m.walkScheduled(reqAt, tr)
 	}
 	// Pick the earliest-free walker.
@@ -345,6 +383,7 @@ func (m *MMU) walk(reqAt engine.Cycle, tr vm.Translation) engine.Cycle {
 			best = i
 		}
 	}
+	m.walkerWalks[best]++
 	cur := m.walkers[best]
 	if cur < reqAt {
 		cur = reqAt

@@ -33,6 +33,11 @@ type Options struct {
 	// simulation (gpu.GPU.Workers, the -par flag); <= 1 means serial.
 	// Reports are byte-identical for any value.
 	CoreWorkers int
+
+	// Obs attaches per-run observability (sampling, watchdog, cycle
+	// budget, deadline) to every simulation the harness executes. The
+	// zero value keeps runs unobserved.
+	Obs ObsOptions
 }
 
 func (o *Options) fill() {
@@ -76,6 +81,7 @@ func New(out io.Writer, opt Options) *Harness {
 			Progress:    opt.Progress,
 			Store:       NewResultStore(),
 			CoreWorkers: opt.CoreWorkers,
+			Obs:         opt.Obs,
 		},
 	}
 }
@@ -99,7 +105,7 @@ func (h *Harness) Run(w string, cfg config.Hardware) (*stats.Sim, error) {
 	spec := h.Spec(w, cfg)
 	res, ok := h.exec.store().Get(spec)
 	if !ok {
-		h.exec.store().Put(ExecuteOne(spec, h.opt.Size, h.opt.Seed, h.opt.CoreWorkers))
+		h.exec.store().Put(ExecuteObs(spec, h.opt.Size, h.opt.Seed, h.opt.CoreWorkers, h.opt.Obs))
 		// Re-read so concurrent callers converge on the canonical
 		// first-published result.
 		res, _ = h.exec.store().Get(spec)

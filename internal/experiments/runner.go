@@ -19,13 +19,17 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"time"
 
 	"gpummu/internal/config"
 	"gpummu/internal/gpu"
+	"gpummu/internal/obs"
 	"gpummu/internal/stats"
 	"gpummu/internal/workloads"
 )
@@ -76,10 +80,11 @@ func (p *Plan) Len() int { return len(p.specs) }
 
 // RunResult is the outcome of executing one RunSpec.
 type RunResult struct {
-	Spec  RunSpec
-	Stats *stats.Sim    // nil when Err != nil
-	Wall  time.Duration // host wall time the simulation took
-	Err   error         // simulation or functional-check failure
+	Spec   RunSpec
+	Stats  *stats.Sim    // nil when Err != nil
+	Series []obs.Sample  // cycle-sampled time series; nil unless sampling was on
+	Wall   time.Duration // host wall time the simulation took
+	Err    error         // simulation or functional-check failure
 }
 
 // ResultStore is a concurrency-safe map from spec key to result. Results
@@ -134,6 +139,24 @@ func (r *ResultStore) Failed() []*RunResult {
 	return out
 }
 
+// ObsOptions configures optional per-run observability for executor runs.
+// The zero value disables everything, keeping the classic behaviour (and
+// the simulator's zero-allocation warm path) untouched.
+type ObsOptions struct {
+	SampleEvery uint64 // cycles between time-series rows; 0 disables sampling
+	SampleDir   string // when set, each run's series is written there as CSV
+	Watchdog    uint64 // cycles without block retirement before abort; 0 disables
+	MaxCycles   uint64 // per-run cycle budget; 0 means unbounded
+	// Deadline aborts any run still simulating past this wall-clock
+	// instant with a typed obs.ErrDeadline. The zero time disables it.
+	Deadline time.Time
+}
+
+// enabled reports whether any observability feature is requested.
+func (o ObsOptions) enabled() bool {
+	return o.SampleEvery > 0 || o.Watchdog > 0 || o.MaxCycles > 0 || !o.Deadline.IsZero()
+}
+
 // Executor runs plans on a pool of worker goroutines.
 type Executor struct {
 	Workers  int            // goroutines; <= 0 means runtime.GOMAXPROCS(0)
@@ -146,6 +169,9 @@ type Executor struct {
 	// goroutines tick cores inside one run (the -par flag). Simulation
 	// output is byte-identical for any value; <= 1 keeps runs serial.
 	CoreWorkers int
+
+	// Obs attaches samplers, watchdogs and cycle budgets to every run.
+	Obs ObsOptions
 
 	mu   sync.Mutex // serialises Progress so lines never interleave
 	done int        // completed runs, for progress numbering
@@ -195,7 +221,7 @@ func (e *Executor) Execute(p *Plan) int {
 		go func() {
 			defer wg.Done()
 			for spec := range jobs {
-				res := ExecuteOne(spec, e.Size, e.Seed, e.CoreWorkers)
+				res := ExecuteObs(spec, e.Size, e.Seed, e.CoreWorkers, e.Obs)
 				st.Put(res)
 				e.logProgress(res, len(todo))
 			}
@@ -231,6 +257,14 @@ func (e *Executor) logProgress(res *RunResult, total int) {
 // again (renderers receive clones). coreWorkers sets gpu.GPU.Workers for
 // the run (<= 1 means serial ticking; output is identical either way).
 func ExecuteOne(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int) *RunResult {
+	return ExecuteObs(spec, size, seed, coreWorkers, ObsOptions{})
+}
+
+// ExecuteObs is ExecuteOne with per-run observability attached: a cycle
+// sampler (optionally persisted as CSV), a forward-progress watchdog, a
+// cycle budget, and a wall-clock deadline. With the zero ObsOptions it is
+// identical to ExecuteOne.
+func ExecuteObs(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int, ob ObsOptions) *RunResult {
 	res := &RunResult{Spec: spec}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
@@ -247,8 +281,25 @@ func ExecuteOne(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int)
 		return res
 	}
 	g.Workers = coreWorkers
-	if _, err := g.Run(wl.Launch); err != nil {
-		res.Err = err
+	if ob.enabled() {
+		g.MaxCycles = ob.MaxCycles
+		g.WatchdogWindow = ob.Watchdog
+		g.Deadline = ob.Deadline
+		if ob.SampleEvery > 0 {
+			g.Sampler = obs.NewSampler(ob.SampleEvery, 0)
+		}
+	}
+	_, runErr := g.Run(wl.Launch)
+	if g.Sampler != nil {
+		res.Series = g.Sampler.Samples()
+		if ob.SampleDir != "" {
+			if err := writeSeriesCSV(ob.SampleDir, spec, g.Sampler); err != nil && runErr == nil {
+				runErr = err
+			}
+		}
+	}
+	if runErr != nil {
+		res.Err = runErr
 		return res
 	}
 	if wl.Check != nil {
@@ -259,4 +310,29 @@ func ExecuteOne(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int)
 	}
 	res.Stats = st
 	return res
+}
+
+// writeSeriesCSV persists one run's sampled series under dir. The filename
+// combines the workload name with a short hash of the spec's canonical key,
+// so concurrent runs of the same workload under different configs never
+// collide and reruns of the same spec overwrite their own artefact.
+func writeSeriesCSV(dir string, spec RunSpec, smp *obs.Sampler) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sample dir: %w", err)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(spec.Key()))
+	name := fmt.Sprintf("%s-%016x.csv", spec.Workload, h.Sum64())
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return fmt.Errorf("sample series: %w", err)
+	}
+	if err := smp.WriteCSV(f); err != nil {
+		f.Close()
+		return fmt.Errorf("sample series %s: %w", name, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("sample series %s: %w", name, err)
+	}
+	return nil
 }

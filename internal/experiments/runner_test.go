@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -150,6 +152,54 @@ func TestExecutorParallelMatchesInline(t *testing.T) {
 	// Re-executing a satisfied plan is a no-op.
 	if n := h.Execute(p); n != 0 {
 		t.Fatalf("re-execute ran %d simulations", n)
+	}
+}
+
+// TestExecuteObsSamplesAndPersists checks the executor's observability
+// path: sampled series are returned on the result, the final row matches
+// the run's statistics, the CSV artefact lands in the sample directory,
+// and the observed run's cycle count is identical to an unobserved one.
+func TestExecuteObsSamplesAndPersists(t *testing.T) {
+	dir := t.TempDir()
+	h, _ := workerHarness(1, "bfs")
+	spec := h.Spec("bfs", h.cfgWith(config.AugmentedMMU()))
+	ob := ObsOptions{SampleEvery: 200, SampleDir: dir, Watchdog: 10_000_000, MaxCycles: 50_000_000}
+	res := ExecuteObs(spec, workloads.SizeTiny, 1, 1, ob)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if len(res.Series) == 0 {
+		t.Fatal("no series recorded")
+	}
+	last := res.Series[len(res.Series)-1]
+	if last.Cycle != res.Stats.Cycles || last.Instructions != res.Stats.Instructions.Value() {
+		t.Errorf("final sample (%d cyc, %d instr) != stats (%d cyc, %d instr)",
+			last.Cycle, last.Instructions, res.Stats.Cycles, res.Stats.Instructions.Value())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || !strings.HasPrefix(ents[0].Name(), "bfs-") || !strings.HasSuffix(ents[0].Name(), ".csv") {
+		t.Fatalf("unexpected sample artefacts: %v", ents)
+	}
+	body, err := os.ReadFile(filepath.Join(dir, ents[0].Name()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(body), "cycle,") {
+		t.Fatalf("CSV missing header:\n%.120s", body)
+	}
+
+	plain := ExecuteOne(spec, workloads.SizeTiny, 1, 1)
+	if plain.Err != nil {
+		t.Fatal(plain.Err)
+	}
+	if plain.Stats.Cycles != res.Stats.Cycles {
+		t.Errorf("observability perturbed timing: %d vs %d cycles", res.Stats.Cycles, plain.Stats.Cycles)
+	}
+	if plain.Series != nil {
+		t.Error("unobserved run grew a series")
 	}
 }
 

@@ -192,7 +192,12 @@ func (c *Core) retireBlock(b *Block) {
 	}
 	c.liveDirty = true
 	c.g.liveBlocks--
-	c.emit(Event{Kind: EvBlockEnd, Core: int16(c.id), Block: int32(b.id), Warp: -1, A: uint64(b.id)})
+	c.g.retired++
+	// Retirement always happens inside a commit phase, so commitCycle is the
+	// current clock; earlier this event carried no timestamp at all, which
+	// put every blockend at ts 0 in rendered traces.
+	c.emit(Event{Cycle: c.g.commitCycle, Kind: EvBlockEnd, Core: int16(c.id),
+		Block: int32(b.id), Warp: -1, A: uint64(b.id), B: uint64(c.g.commitCycle)})
 	c.fillBlocks()
 }
 
@@ -248,6 +253,7 @@ func (c *Core) tick(now engine.Cycle) (issuedAny bool, next engine.Cycle) {
 // functional memory, block dispatch counters, the tracer) or owned by this
 // core; it never reads another core's private state.
 func (c *Core) commit(now engine.Cycle) {
+	c.g.commitCycle = now
 	c.commitMem(now)
 	if b := c.pendRetire; b != nil {
 		c.pendRetire = nil

@@ -7,15 +7,18 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"gpummu/internal/config"
 	"gpummu/internal/core"
 	"gpummu/internal/engine"
 	"gpummu/internal/kernels"
 	"gpummu/internal/mem"
+	"gpummu/internal/obs"
 	"gpummu/internal/stats"
 	"gpummu/internal/vm"
 )
@@ -49,6 +52,44 @@ type GPU struct {
 	// core-id order (see DESIGN.md "Two-phase parallel core ticking"). This
 	// is a host-side knob, deliberately not part of config.Hardware.
 	Workers int
+
+	// Observability hooks (DESIGN.md §11). All are optional; their zero
+	// values cost the hot path nothing beyond a nil/zero check, keeping the
+	// warm path allocation-free when observability is off.
+
+	// Sampler, when non-nil, records an obs.Sample time-series row at every
+	// sampling-interval boundary the clock reaches (plus a forced final row,
+	// so the last row's cumulative columns equal the end-of-run report).
+	Sampler *obs.Sampler
+	// Metrics, when non-nil, receives the hierarchically labelled breakdowns
+	// (per-core, per-walker, per-L2-slice) at the end of every Run. Values
+	// come from the same per-core shards the global sink merges, so they are
+	// exact for any Workers count.
+	Metrics *obs.Registry
+	// WatchdogWindow aborts a run with obs.ErrLivelock when no thread block
+	// retires for this many cycles (0 disables). Block retirement — not
+	// instruction issue — is the progress signal: a spin loop issues
+	// instructions forever, and only a finishing block shows the kernel is
+	// actually getting anywhere.
+	WatchdogWindow uint64
+	// Deadline aborts the run with obs.ErrDeadline once the wall clock
+	// passes it (zero disables). Checked on the prune cadence (~16k cycles).
+	Deadline time.Time
+	// Ctx, when non-nil, cancels the run cooperatively: a done context
+	// aborts with its error as the obs.AbortError cause. Checked on the
+	// prune cadence alongside Deadline.
+	Ctx context.Context
+	// Progress, when non-nil, is called roughly every ProgressEvery cycles
+	// (default 1<<20) with a cheap run snapshot.
+	Progress      func(obs.Progress)
+	ProgressEvery uint64
+
+	// retired counts thread blocks retired since construction — the
+	// watchdog's monotonic forward-progress signal.
+	retired uint64
+	// commitCycle is the clock value of the in-flight commit phase; block
+	// retirement reads it so EvBlockEnd events carry real timestamps.
+	commitCycle engine.Cycle
 }
 
 // dumpState summarises core and warp states for deadlock/runaway
@@ -119,9 +160,15 @@ func (g *GPU) Translator() *vm.Translator { return g.tr }
 // byte-identical to what a single shared sink would have accumulated under
 // serial ticking.
 func (g *GPU) mergeShards() {
-	for _, c := range g.cores {
+	for i, c := range g.cores {
+		if g.Metrics != nil {
+			g.collectCoreMetrics(i, c)
+		}
 		g.st.Merge(c.st)
 		*c.st = stats.Sim{}
+	}
+	if g.Metrics != nil {
+		g.collectSystemMetrics()
 	}
 }
 
@@ -166,10 +213,21 @@ func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 		}
 	}
 
+	if g.Sampler != nil {
+		g.Sampler.Reset()
+	}
+	// Watchdog state: progressAt is the last cycle a thread block retired.
+	watchRetired := g.retired
+	progressAt := engine.Cycle(0)
+	nextProgress := engine.Cycle(noEvent)
+	if g.Progress != nil {
+		nextProgress = engine.Cycle(g.progressEvery())
+	}
+
 	now := engine.Cycle(0)
 	for g.liveBlocks > 0 || g.nextBlock < l.Grid {
 		if g.MaxCycles != 0 && uint64(now) > g.MaxCycles {
-			return uint64(now), fmt.Errorf("gpu: exceeded MaxCycles=%d\n%s", g.MaxCycles, g.dumpState(now))
+			return uint64(now), g.abort(obs.ErrMaxCycles, now, fmt.Sprintf("MaxCycles=%d", g.MaxCycles))
 		}
 		// Compute phase: core-private work only.
 		if pool != nil {
@@ -184,6 +242,12 @@ func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 			if c.tkKind == tkTicked {
 				c.commit(now)
 			}
+		}
+		// Sampling happens after commits: every core's cycle-now state is
+		// settled, and nothing below mutates simulation state, so the row is
+		// identical for any Workers count.
+		if g.Sampler != nil && uint64(now) >= g.Sampler.NextAt() {
+			g.sample(now)
 		}
 		// Aggregation: commits can retire blocks, so liveness and the next
 		// event fold after them.
@@ -215,7 +279,15 @@ func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 			break
 		}
 		if next == noEvent {
-			return uint64(now), fmt.Errorf("gpu: deadlock at cycle %d (%d live blocks)", now, g.liveBlocks)
+			return uint64(now), g.abort(obs.ErrDeadlock, now, fmt.Sprintf("%d live blocks", g.liveBlocks))
+		}
+		if g.WatchdogWindow != 0 {
+			if g.retired != watchRetired {
+				watchRetired = g.retired
+				progressAt = now
+			} else if uint64(now-progressAt) > g.WatchdogWindow {
+				return uint64(now), g.abort(obs.ErrLivelock, now, fmt.Sprintf("window=%d last-progress=%d", g.WatchdogWindow, progressAt))
+			}
 		}
 		if next <= now {
 			next = now + 1
@@ -235,8 +307,26 @@ func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 			for _, c := range g.cores {
 				c.l1Port.PruneBefore(next)
 			}
+			// The wall-clock guards piggyback on the same cadence so the hot
+			// loop never touches the host clock or the context directly.
+			if !g.Deadline.IsZero() && time.Now().After(g.Deadline) {
+				return uint64(now), g.abort(obs.ErrDeadline, now, g.Deadline.Format(time.RFC3339))
+			}
+			if g.Ctx != nil {
+				if err := g.Ctx.Err(); err != nil {
+					return uint64(now), g.abort(err, now, "context cancelled")
+				}
+			}
+		}
+		if g.Progress != nil && next >= nextProgress {
+			g.Progress(obs.Progress{Cycle: uint64(now), Instructions: g.foldInstructions(), LiveBlocks: g.liveBlocks})
+			nextProgress = next + engine.Cycle(g.progressEvery())
 		}
 		now = next
+	}
+	if g.Sampler != nil {
+		// Forced final row: its cumulative columns equal the run's report.
+		g.sample(now)
 	}
 	g.st.Cycles = uint64(now)
 	return uint64(now), nil

@@ -23,12 +23,25 @@ const (
 // table walkers call it for every walk reference (walks bypass the L1, as
 // in the paper, but hit in the shared L2).
 type System struct {
-	cfg   config.Hardware
-	l2    []*Cache
-	l2Res []*engine.SlottedResource
-	dram  []*engine.SlottedResource
-	icnt  *engine.SlottedResource
-	st    *stats.Sim
+	cfg    config.Hardware
+	l2     []*Cache
+	l2Res  []*engine.SlottedResource
+	dram   []*engine.SlottedResource
+	icnt   *engine.SlottedResource
+	st     *stats.Sim
+	slices []SliceStat
+}
+
+// SliceStat is one L2 slice's traffic breakdown. The counters are plain
+// field increments on the Access path (always on: the per-partition
+// breakdown cannot be reconstructed from the flat aggregate afterwards) and
+// are only written from serial commit phases, so they are exact for any
+// -par worker count.
+type SliceStat struct {
+	Accesses uint64 `json:"accesses"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Walks    uint64 `json:"walks"` // page-table-walk references routed here
 }
 
 // NewSystem builds the memory system for the given machine configuration,
@@ -48,6 +61,7 @@ func NewSystem(cfg config.Hardware, st *stats.Sim) *System {
 	// per two cores approximates its aggregate bandwidth.
 	ports := cfg.NumCores/2 + 1
 	s.icnt = engine.NewSlottedResource(ports, window)
+	s.slices = make([]SliceStat, cfg.NumPartitions)
 	return s
 }
 
@@ -72,6 +86,16 @@ func (s *System) Access(now engine.Cycle, pa uint64, class Class) (done engine.C
 	l2Start := s.l2Res[part].Acquire(atL2, 2)
 	hit, _, _ := s.l2[part].Access(pa, -1)
 	s.st.L2Accesses.Inc()
+	sl := &s.slices[part]
+	sl.Accesses++
+	if hit {
+		sl.Hits++
+	} else {
+		sl.Misses++
+	}
+	if class == ClassWalk {
+		sl.Walks++
+	}
 	dataReady := l2Start + engine.Cycle(s.cfg.L2Latency)
 	if hit {
 		s.st.L2Hits.Inc()
@@ -110,6 +134,28 @@ func (s *System) Prune(now engine.Cycle) {
 		s.l2Res[i].PruneBefore(now)
 		s.dram[i].PruneBefore(now)
 	}
+}
+
+// SliceStats returns the per-L2-slice traffic counters, one per memory
+// partition. The slice is live (counters keep advancing); callers must not
+// mutate it.
+func (s *System) SliceStats() []SliceStat { return s.slices }
+
+// IcntUtilization reports interconnect port occupancy over cycles
+// [from, to). Approximate for observability: windows already pruned read as
+// idle.
+func (s *System) IcntUtilization(from, to engine.Cycle) float64 {
+	return s.icnt.Utilization(from, to)
+}
+
+// DRAMUtilization reports mean DRAM channel occupancy over cycles
+// [from, to), averaged across partitions. Approximate like IcntUtilization.
+func (s *System) DRAMUtilization(from, to engine.Cycle) float64 {
+	var sum float64
+	for _, d := range s.dram {
+		sum += d.Utilization(from, to)
+	}
+	return sum / float64(len(s.dram))
 }
 
 // FlushL2 invalidates all L2 slices.

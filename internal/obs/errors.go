@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel causes for a simulation abort. Callers classify an abort with
+// errors.Is against these; the AbortError wrapping them carries the cycle
+// and the diagnostic state dump.
+var (
+	// ErrLivelock fires when the forward-progress watchdog sees no thread
+	// block retire within its window: warps may still be issuing (a spin
+	// loop retires instructions forever) but the kernel is not finishing
+	// work, which a plain cycle limit only catches much later.
+	ErrLivelock = errors.New("livelock: no forward progress within watchdog window")
+	// ErrDeadlock fires when no core has any runnable event — the classic
+	// malformed-kernel state (e.g. a barrier inside divergent control flow).
+	ErrDeadlock = errors.New("deadlock: no core has a runnable event")
+	// ErrMaxCycles fires when the simulated clock exceeds the configured
+	// cycle budget.
+	ErrMaxCycles = errors.New("cycle budget exceeded")
+	// ErrDeadline fires when the wall-clock run deadline passes.
+	ErrDeadline = errors.New("run deadline exceeded")
+)
+
+// AbortError is the typed error a simulation returns when it stops before
+// kernel completion. Cause is one of the sentinels above (or a context
+// error for cancellation), Cycle is the simulated time of the abort, and
+// Dump is the diagnostic state bundle (per-core warp states) captured at
+// that instant.
+type AbortError struct {
+	Cause error  // sentinel or context error; exposed via Unwrap
+	Cycle uint64 // simulated cycle at abort
+	Msg   string // one-line context (limit values, window size)
+	Dump  string // dumpState diagnostic bundle
+}
+
+// Error renders the abort with its diagnostic bundle attached.
+func (e *AbortError) Error() string {
+	s := fmt.Sprintf("gpu: %v at cycle %d", e.Cause, e.Cycle)
+	if e.Msg != "" {
+		s += " (" + e.Msg + ")"
+	}
+	if e.Dump != "" {
+		s += "\n" + e.Dump
+	}
+	return s
+}
+
+// Unwrap exposes the sentinel cause to errors.Is / errors.As.
+func (e *AbortError) Unwrap() error { return e.Cause }

@@ -1,0 +1,22 @@
+// Package obs is the simulator's observability layer: a typed metrics
+// registry with hierarchical labels (per-core, per-L2-slice, per-walker), a
+// cycle-driven interval sampler recording time series into a ring buffer, a
+// Chrome trace-event JSON writer (loadable in Perfetto / chrome://tracing),
+// and the typed abort errors the forward-progress watchdog and run deadline
+// raise.
+//
+// The package deliberately has no dependency on the simulator packages: the
+// GPU imports obs, feeds it, and stays the only place that knows how to map
+// simulator state onto metrics, samples, and trace tracks. Everything here
+// is deterministic — export order is insertion order, JSON is emitted with a
+// fixed field order, and no map iteration reaches an output — so observing a
+// run never perturbs the byte-identical-across-workers guarantees the
+// simulator maintains.
+package obs
+
+// Progress is a periodic heartbeat handed to a run's progress callback.
+type Progress struct {
+	Cycle        uint64 // current simulated cycle
+	Instructions uint64 // warp instructions issued so far
+	LiveBlocks   int    // thread blocks currently resident on cores
+}

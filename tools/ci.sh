@@ -36,6 +36,26 @@ echo "== go test -race par equivalence (par=1,2,8)"
 go test -race -run 'TestParallelTickEquivalence' ./internal/gpu
 go test -race -run 'TestReportIdenticalAcrossCoreWorkers' ./internal/experiments
 
+# Observability gates. First: a traced+sampled tiny run must emit
+# schema-valid Chrome trace JSON (tools/tracecheck checks every event) and
+# a CSV series with the expected header. Second: with observability OFF the
+# warm simulation path must still allocate nothing — the AllocsPerRun tests
+# are the contract that the nil-gated obs hooks cost zero when unused.
+echo "== trace schema (gpusim -trace -sample 100 | tracecheck)"
+obs_tmp="$(mktemp -d)"
+trap 'rm -rf "$obs_tmp"' EXIT
+go run ./cmd/gpusim -workload bfs -size tiny -mmu augmented \
+	-trace "$obs_tmp/trace.json" -sample 100 -samplefile "$obs_tmp/series.csv" >/dev/null
+go run ./tools/tracecheck "$obs_tmp/trace.json"
+if ! head -1 "$obs_tmp/series.csv" | grep -q '^cycle,instructions,'; then
+	echo "ci: FAIL sampler CSV missing header" >&2
+	exit 1
+fi
+
+echo "== zero-alloc warm path with observability off"
+go test -run 'TestExecMemSteadyStateAllocFree' ./internal/gpu
+go test -run 'TestWalkAllocFree|TestTranslatorHitAllocFree' ./internal/vm
+
 # Bench gate: one iteration of the figure-2 benchmark proves the hot path
 # still runs end to end, and its wall time must stay within 25% of the
 # recorded baseline (tools/bench_fig02_baseline.txt, ns/op). If no baseline

@@ -1,0 +1,125 @@
+// Command tracecheck validates a Chrome trace-event JSON file against the
+// subset of the trace-event format the simulator emits (and Perfetto /
+// chrome://tracing require). It is the CI gate behind the -trace flag:
+// tools/ci.sh runs a traced simulation and feeds the artefact through here.
+//
+// Usage:
+//
+//	tracecheck trace.json        # validate a file
+//	tracecheck -                 # validate stdin
+//
+// Checks, per event: a non-empty name; a known phase (M metadata, i
+// instant, X complete, C counter); pid and tid present; a non-negative ts
+// on every non-metadata event; a non-negative dur on X events; an "s"
+// scope on instant events; a non-empty args object on metadata and counter
+// events. On success it prints a one-line summary with per-phase counts.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+type event struct {
+	Name string                     `json:"name"`
+	Ph   string                     `json:"ph"`
+	TS   *float64                   `json:"ts"`
+	Dur  *float64                   `json:"dur"`
+	Pid  *int                       `json:"pid"`
+	Tid  *int                       `json:"tid"`
+	S    string                     `json:"s"`
+	Args map[string]json.RawMessage `json:"args"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json|->")
+		os.Exit(2)
+	}
+	var in io.Reader = os.Stdin
+	name := "stdin"
+	if os.Args[1] != "-" {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+	data, err := io.ReadAll(in)
+	if err != nil {
+		fatal("%s: %v", name, err)
+	}
+
+	var doc struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fatal("%s: not valid JSON: %v", name, err)
+	}
+	if doc.TraceEvents == nil {
+		fatal("%s: no traceEvents array", name)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fatal("%s: traceEvents is empty", name)
+	}
+
+	counts := map[string]int{}
+	for i, e := range doc.TraceEvents {
+		bad := func(format string, args ...interface{}) {
+			fatal("%s: event %d (%q): "+format, append([]interface{}{name, i, e.Name}, args...)...)
+		}
+		if e.Name == "" {
+			bad("empty name")
+		}
+		switch e.Ph {
+		case "M":
+			if len(e.Args) == 0 {
+				bad("metadata event without args")
+			}
+		case "i":
+			if e.S == "" {
+				bad("instant event without scope")
+			}
+		case "X":
+			if e.Dur == nil || *e.Dur < 0 {
+				bad("complete event without non-negative dur")
+			}
+		case "C":
+			if len(e.Args) == 0 {
+				bad("counter event without args")
+			}
+		default:
+			bad("unknown phase %q", e.Ph)
+		}
+		if e.Pid == nil || e.Tid == nil {
+			bad("missing pid/tid")
+		}
+		if e.Ph != "M" && (e.TS == nil || *e.TS < 0) {
+			bad("missing or negative ts")
+		}
+		counts[e.Ph]++
+	}
+
+	phases := make([]string, 0, len(counts))
+	for ph := range counts {
+		phases = append(phases, ph)
+	}
+	sort.Strings(phases)
+	fmt.Printf("tracecheck: %s ok, %d events (", name, len(doc.TraceEvents))
+	for i, ph := range phases {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%s=%d", ph, counts[ph])
+	}
+	fmt.Println(")")
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}
