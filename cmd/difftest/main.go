@@ -1,0 +1,69 @@
+// Command difftest soak-runs the differential fuzzing harness: seeded
+// random kernels and hardware configurations are executed on both the
+// timing simulator and the reference functional model, and any divergence
+// is minimised to a replayable Go test snippet.
+//
+// Usage:
+//
+//	difftest [-n samples] [-seed start] [-minimize] [-timeout per-sample] [-v]
+//
+// Exit status is 0 when every sample agrees, 1 on the first divergence
+// (after printing the minimised repro), 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gpummu/internal/difftest"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 256, "number of seeded samples to run")
+		seed     = flag.Uint64("seed", 1, "first seed; samples use seed..seed+n-1")
+		minimize = flag.Bool("minimize", true, "shrink a failing sample before reporting it")
+		timeout  = flag.Duration("timeout", 60*time.Second, "wall-clock budget per sample")
+		verbose  = flag.Bool("v", false, "describe every sample as it runs")
+	)
+	flag.Parse()
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "difftest: -n must be >= 1")
+		os.Exit(2)
+	}
+
+	run := func(s *difftest.Sample) error {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		return s.Diff(ctx)
+	}
+
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		sd := *seed + uint64(i)
+		s := difftest.Generate(sd)
+		if *verbose {
+			fmt.Printf("%4d/%d %s\n", i+1, *n, s.Describe())
+		} else if i%16 == 0 {
+			fmt.Printf("%4d/%d samples, %d ok, %s elapsed\n", i, *n, i, time.Since(start).Round(time.Millisecond))
+		}
+		err := run(s)
+		if err == nil {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "\nDIVERGENCE %s\n  %v\n", s.Describe(), err)
+		if *minimize {
+			fmt.Fprintln(os.Stderr, "minimising...")
+			min := difftest.Minimise(s, func(c *difftest.Sample) bool { return run(c) != nil })
+			fmt.Fprintf(os.Stderr, "minimised to %s\n  %v\n", min.Describe(), run(min))
+			s = min
+		}
+		fmt.Fprintf(os.Stderr, "\nreproduce with (in package difftest_test):\n\n%s\n", s.ReproSnippet())
+		os.Exit(1)
+	}
+	fmt.Printf("%d/%d samples agree with the reference model (%s)\n",
+		*n, *n, time.Since(start).Round(time.Millisecond))
+}

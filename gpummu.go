@@ -133,6 +133,7 @@ var (
 	ErrDeadlock  = obs.ErrDeadlock  // no core has a runnable event
 	ErrMaxCycles = obs.ErrMaxCycles // cycle budget exceeded
 	ErrDeadline  = obs.ErrDeadline  // wall-clock deadline passed
+	ErrInvariant = obs.ErrInvariant // WithInvariants checker found corrupted state
 )
 
 // NewSampler creates a sampler recording every `every` cycles, retaining
@@ -185,6 +186,7 @@ type runSpec struct {
 	check func() error // functional verification after the run
 
 	workers       int
+	invariants    bool
 	maxCycles     uint64
 	watchdog      uint64
 	deadline      time.Time
@@ -238,6 +240,18 @@ func WithCheck(fn func() error) RunOption {
 // Simulation output is byte-identical for any value.
 func WithWorkers(n int) RunOption {
 	return func(s *runSpec) { s.workers = n }
+}
+
+// WithInvariants enables the debug-build invariant checker: the simulator
+// audits SIMT-stack well-formedness, TLB-vs-page-table coherence, MSHR and
+// walker bookkeeping, and L2 slice homing every ~16k cycles and at kernel
+// completion. A violation aborts the run with an *AbortError matching
+// ErrInvariant whose message names the broken invariant. Checking is
+// moderately expensive; leave it off for performance runs (when off, the
+// hot path stays allocation-free and pays only a bool test per audit
+// cadence).
+func WithInvariants() RunOption {
+	return func(s *runSpec) { s.invariants = true }
 }
 
 // WithMaxCycles aborts the run with ErrMaxCycles past this simulated cycle
@@ -352,6 +366,7 @@ func runSim(ctx context.Context, spec *runSpec) (*Report, error) {
 		return nil, fmt.Errorf("gpummu: configuring %s: %w", name, err)
 	}
 	g.Workers = spec.workers
+	g.Invariants = spec.invariants
 	g.MaxCycles = spec.maxCycles
 	g.WatchdogWindow = spec.watchdog
 	g.Deadline = spec.deadline

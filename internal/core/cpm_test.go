@@ -1,0 +1,89 @@
+package core
+
+import "testing"
+
+func TestNewCPMPanicsOnBadBits(t *testing.T) {
+	for _, bits := range []int{0, 9, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewCPM with %d bits did not panic", bits)
+				}
+			}()
+			NewCPM(4, bits, 500)
+		}()
+	}
+}
+
+// TestCPMBumpSaturates: counters update symmetrically on TLB hits and
+// saturate at 2^bits - 1; saturation is the compaction admission condition.
+func TestCPMBumpSaturates(t *testing.T) {
+	c := NewCPM(4, 2, 500) // max = 3
+	for i := 0; i < 5; i++ {
+		c.OnTLBHit(0, []int16{1})
+	}
+	if got := c.Counter(0, 1); got != 3 {
+		t.Errorf("Counter(0,1) = %d, want saturated 3", got)
+	}
+	if got := c.Counter(1, 0); got != 3 {
+		t.Errorf("Counter(1,0) = %d, want symmetric 3", got)
+	}
+	if !c.Saturated(0, 1) || !c.Saturated(1, 0) {
+		t.Error("saturated pair not reported Saturated")
+	}
+	if c.Saturated(0, 2) {
+		t.Error("untouched pair reported Saturated")
+	}
+}
+
+// TestCPMIgnoresDiagonalAndOutOfRange: self-hits and bogus warp ids must
+// not corrupt the matrix, and a warp is always compatible with itself.
+func TestCPMIgnoresDiagonalAndOutOfRange(t *testing.T) {
+	c := NewCPM(4, 2, 500)
+	c.OnTLBHit(0, []int16{0})     // diagonal
+	c.OnTLBHit(0, []int16{-1, 7}) // out of range
+	c.OnTLBHit(9, []int16{1})     // warp itself out of range
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 4; b++ {
+			if got := c.Counter(a, b); got != 0 {
+				t.Fatalf("Counter(%d,%d) = %d after invalid updates, want 0", a, b, got)
+			}
+		}
+	}
+	if !c.Saturated(2, 2) {
+		t.Error("warp not compatible with itself")
+	}
+	if c.Saturated(-1, 2) || c.Saturated(2, 9) {
+		t.Error("out-of-range pair reported Saturated")
+	}
+	if c.Counter(1, 1) != 0 || c.Counter(-1, 0) != 0 {
+		t.Error("diagonal/out-of-range Counter not zero")
+	}
+}
+
+// TestCPMMaybeFlush: the matrix clears only once the flush period elapses,
+// and a zero period disables flushing entirely.
+func TestCPMMaybeFlush(t *testing.T) {
+	c := NewCPM(4, 3, 500)
+	c.OnTLBHit(0, []int16{1})
+	c.MaybeFlush(100) // period not yet elapsed
+	if c.Counter(0, 1) != 1 {
+		t.Fatal("flushed before the period elapsed")
+	}
+	c.MaybeFlush(600) // elapsed: clears and restamps
+	if c.Counter(0, 1) != 0 {
+		t.Fatal("did not flush after the period elapsed")
+	}
+	c.OnTLBHit(0, []int16{1})
+	c.MaybeFlush(700) // only 100 cycles since the last flush
+	if c.Counter(0, 1) != 1 {
+		t.Fatal("flush period not restarted after a flush")
+	}
+
+	never := NewCPM(2, 1, 0)
+	never.OnTLBHit(0, []int16{1})
+	never.MaybeFlush(1 << 30)
+	if never.Counter(0, 1) != 1 {
+		t.Fatal("zero flush period still flushed")
+	}
+}

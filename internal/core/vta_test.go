@@ -1,0 +1,92 @@
+package core
+
+import "testing"
+
+// TestNewVTAClampsGeometry: entries below the associativity degrade to a
+// single set of `entries` ways (the paper sweeps 2..16 entries against
+// 8-way arrays), and non-power-of-two set counts round down.
+func TestNewVTAClampsGeometry(t *testing.T) {
+	v := NewVTA(2, 8) // 2 entries, nominal 8-way -> one set, 2 ways
+	if len(v.sets) != 1 || len(v.sets[0]) != 2 {
+		t.Fatalf("geometry = %d sets x %d ways, want 1x2", len(v.sets), len(v.sets[0]))
+	}
+	v = NewVTA(48, 8) // 6 sets rounds down to 4
+	if len(v.sets) != 4 || len(v.sets[0]) != 8 {
+		t.Fatalf("geometry = %d sets x %d ways, want 4x8", len(v.sets), len(v.sets[0]))
+	}
+}
+
+func TestNewVTAPanicsOnBadAssoc(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewVTA(16, 0) did not panic")
+		}
+	}()
+	NewVTA(16, 0)
+}
+
+// TestProbeRefreshesRecency: probing a tag must make it MRU, so the next
+// insertion displaces the other way.
+func TestProbeRefreshesRecency(t *testing.T) {
+	v := NewVTA(2, 2) // one set, two ways
+	v.Insert(10)
+	v.Insert(20)
+	if !v.Probe(10) { // 10 becomes MRU; 20 is now LRU
+		t.Fatal("freshly inserted tag missing")
+	}
+	v.Insert(30) // displaces 20
+	if !v.Probe(10) {
+		t.Error("probed (MRU) tag displaced")
+	}
+	if v.Probe(20) {
+		t.Error("LRU tag survived displacement")
+	}
+	if !v.Probe(30) {
+		t.Error("new tag missing")
+	}
+}
+
+// TestInsertDisplacesLRU: insertion order alone determines the victim when
+// nothing is probed, and re-inserting an existing tag refreshes instead of
+// duplicating.
+func TestInsertDisplacesLRU(t *testing.T) {
+	v := NewVTA(2, 2)
+	v.Insert(1)
+	v.Insert(2)
+	v.Insert(1) // refresh, not duplicate: 2 is now LRU
+	v.Insert(3) // displaces 2
+	if !v.Probe(1) || v.Probe(2) || !v.Probe(3) {
+		t.Fatalf("contents after displacement: 1=%t 2=%t 3=%t, want true/false/true",
+			v.Probe(1), v.Probe(2), v.Probe(3))
+	}
+}
+
+// TestVTASetSelection: tags landing in different sets must not displace
+// each other.
+func TestVTASetSelection(t *testing.T) {
+	v := NewVTA(4, 2) // 2 sets x 2 ways, set = tag & 1
+	v.Insert(0)       // set 0
+	v.Insert(2)       // set 0
+	v.Insert(1)       // set 1
+	v.Insert(3)       // set 1
+	v.Insert(4)       // set 0: displaces LRU of set 0 only
+	if v.Probe(0) {
+		t.Error("set-0 LRU tag survived")
+	}
+	if !v.Probe(1) || !v.Probe(3) {
+		t.Error("set-1 tags disturbed by set-0 insertion")
+	}
+}
+
+func TestVTAClear(t *testing.T) {
+	v := NewVTA(16, 8)
+	for tag := uint64(0); tag < 16; tag++ {
+		v.Insert(tag)
+	}
+	v.Clear()
+	for tag := uint64(0); tag < 16; tag++ {
+		if v.Probe(tag) {
+			t.Fatalf("tag %d survived Clear", tag)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package difftest_test
+
+import (
+	"context"
+	"testing"
+
+	"gpummu/internal/config"
+	"gpummu/internal/core"
+	"gpummu/internal/difftest"
+	"gpummu/internal/engine"
+	"gpummu/internal/mem"
+	"gpummu/internal/ref"
+	"gpummu/internal/stats"
+	"gpummu/internal/vm"
+)
+
+// FuzzDiffKernel is the end-to-end differential target: every input seed
+// becomes a random kernel + config pair run through both the timing
+// simulator and the reference model. The seed corpus under testdata/fuzz
+// pins a spread of configurations; `go test -fuzz=FuzzDiffKernel` explores
+// beyond it.
+func FuzzDiffKernel(f *testing.F) {
+	for _, seed := range []uint64{1, 7, 42, 1337, 90210, 123456789, 0xDEADBEEF, 0xFEEDFACE} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		s := difftest.Generate(seed)
+		if err := s.Diff(context.Background()); err != nil {
+			t.Fatalf("%s: %v\nrepro:\n%s", s.Describe(), err, s.ReproSnippet())
+		}
+	})
+}
+
+// Disjoint VA ranges for the page-table fuzzer: 4 KB mappings and 2 MB
+// mappings must not collide, because remapping a 2 MB leaf as an interior
+// table is a caller error the page table rejects by panicking.
+const (
+	fuzz4KBase = uint64(0x0000_5C00_0000_0000)
+	fuzz2MBase = uint64(0x0000_6000_0000_0000)
+)
+
+// FuzzPageTable drives random Map4K/Map2M sequences into the hardware page
+// table and checks the independent reference walker agrees with pt.Walk on
+// every mapped page, every walk level, and every fault.
+func FuzzPageTable(f *testing.F) {
+	f.Add([]byte{0x00, 0x01, 0x00})
+	f.Add([]byte{0x01, 0x02, 0x00, 0x00, 0x03, 0x00})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x10, 0x00, 0x01, 0x20, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pm := vm.NewPhysMem()
+		alloc := vm.NewFrameAllocator(1 << 20)
+		pt := vm.NewPageTable(pm, alloc)
+		var mapped []uint64
+
+		n := len(data) / 3
+		if n > 256 {
+			n = 256
+		}
+		for i := 0; i < n; i++ {
+			opb := data[i*3]
+			idx := uint64(data[i*3+1]) | uint64(data[i*3+2])<<8
+			if opb&1 == 0 {
+				va := fuzz4KBase + (idx%2048)*vm.PageSize4K
+				if err := pt.Map4K(va, alloc.Alloc4K()); err == nil {
+					mapped = append(mapped, va)
+				}
+			} else {
+				va := fuzz2MBase + (idx%256)*vm.PageSize2M
+				if err := pt.Map2M(va, alloc.Alloc2M()); err == nil {
+					mapped = append(mapped, va)
+				}
+			}
+		}
+
+		cr3 := pt.CR3()
+		check := func(va uint64) {
+			tr, werr := pt.Walk(va)
+			rw := ref.WalkPage(pm, cr3, va)
+			if (werr != nil) != rw.Fault {
+				t.Fatalf("va %#x: page table err=%v, reference fault=%t", va, werr, rw.Fault)
+			}
+			if werr != nil {
+				if rw.FaultLevel != tr.Levels-1 {
+					t.Fatalf("va %#x: fault level %d vs reference %d", va, tr.Levels-1, rw.FaultLevel)
+				}
+				return
+			}
+			if tr.PA != rw.PA || tr.PageShift != rw.PageShift || tr.Levels != rw.Levels {
+				t.Fatalf("va %#x: walk (pa=%#x shift=%d levels=%d) vs reference (pa=%#x shift=%d levels=%d)",
+					va, tr.PA, tr.PageShift, tr.Levels, rw.PA, rw.PageShift, rw.Levels)
+			}
+			for l := 0; l < tr.Levels; l++ {
+				if tr.LevelPAs[l] != rw.LevelPAs[l] {
+					t.Fatalf("va %#x level %d: PTE pa %#x vs reference %#x", va, l, tr.LevelPAs[l], rw.LevelPAs[l])
+				}
+			}
+		}
+
+		for _, va := range mapped {
+			check(va)
+			check(va + 0x777)         // interior offset
+			check(va ^ (1 << 30))     // different PD subtree, usually unmapped
+			check(va + vm.PageSize2M) // next 2M region
+			check(va - vm.PageSize4K) // preceding page
+		}
+		check(fuzz4KBase)
+		check(fuzz2MBase)
+		check(0)
+	})
+}
+
+// FuzzTLBVsWalk hammers one core MMU with random translation request
+// streams and checks every result against the functional translator, plus
+// the MMU's own structural invariants after each batch: the TLB may change
+// *when* a translation is ready, never *what* it translates to.
+func FuzzTLBVsWalk(f *testing.F) {
+	f.Add(uint64(1), uint16(64))
+	f.Add(uint64(99), uint16(300))
+	f.Add(uint64(0xABCD), uint16(17))
+	f.Fuzz(func(t *testing.T, seed uint64, n uint16) {
+		cfg := config.SmallTest()
+		cfg.MMU = config.AugmentedMMU()
+		if seed&1 == 1 {
+			cfg.MMU = config.NaiveMMU(4) // blocking variant half the time
+		}
+		st := &stats.Sim{}
+		sys := mem.NewSystem(cfg, st)
+		as := vm.NewAddressSpace(vm.NewPhysMem(), vm.NewFrameAllocator(1<<20), vm.PageShift4K)
+		const pages = 16
+		base := as.Malloc(pages * vm.PageSize4K)
+		tr := vm.NewTranslator(as.PT, vm.PageShift4K)
+		m := core.NewMMU(cfg.MMU, sys, tr, st, 2)
+		slack := cfg.WarpsPerCore * cfg.WarpWidth
+
+		rng := engine.NewRNG(seed)
+		now := engine.Cycle(1)
+		iters := int(n%512) + 16
+		for i := 0; i < iters; i++ {
+			now += engine.Cycle(rng.Uint64n(64))
+			va := base + rng.Uint64n(pages)*vm.PageSize4K + (rng.Uint64n(vm.PageSize4K) &^ 7)
+			vpn := tr.VPN(va)
+			res := m.Lookup(now, []core.PageReq{{VPN: vpn, Warps: []int{rng.Intn(8)}}})
+			want := tr.Lookup(va).PageBase()
+			if res[0].VPN != vpn {
+				t.Fatalf("iter %d: result VPN %#x for request %#x", i, res[0].VPN, vpn)
+			}
+			if res[0].PBase != want {
+				t.Fatalf("iter %d: va %#x translated to pbase %#x, page table says %#x (hit=%t merged=%t)",
+					i, va, res[0].PBase, want, res[0].Hit, res[0].Merged)
+			}
+			if res[0].ReadyAt < now {
+				t.Fatalf("iter %d: translation ready at %d before request cycle %d", i, res[0].ReadyAt, now)
+			}
+			if err := m.CheckInvariants(now, slack); err != nil {
+				t.Fatalf("iter %d: %v", i, err)
+			}
+		}
+	})
+}

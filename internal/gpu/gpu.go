@@ -40,6 +40,14 @@ type GPU struct {
 	nextBlock  int // next block id to dispatch
 	liveBlocks int
 	tracer     Tracer
+	shared     *core.SharedTLB // non-nil only with the shared-L2-TLB extension
+
+	// Invariants enables the debug-build invariant checker: Run audits SIMT
+	// stacks, TLB-vs-page-table coherence, MSHR bookkeeping, and L2 slice
+	// homing on the prune cadence and at kernel completion, aborting with
+	// obs.ErrInvariant on a violation. Off by default; when off the only cost
+	// is a bool check per prune.
+	Invariants bool
 
 	// MaxCycles, when non-zero, aborts Run past this cycle with a
 	// diagnostic — a guard against malformed kernels that never finish.
@@ -138,6 +146,7 @@ func New(cfg config.Hardware, as *vm.AddressSpace, st *stats.Sim) (*GPU, error) 
 		}
 		shared = core.NewSharedTLB(cfg.MMU.SharedTLBEntries, 4, cfg.NumCores/2+1, lat, st)
 	}
+	g.shared = shared
 	g.cores = make([]*Core, cfg.NumCores)
 	for i := range g.cores {
 		g.cores[i] = newCore(i, g)
@@ -317,12 +326,27 @@ func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 					return uint64(now), g.abort(err, now, "context cancelled")
 				}
 			}
+			// The invariant checker shares the cadence too: commits have
+			// settled, so it sees a consistent cycle-now snapshot.
+			if g.Invariants {
+				if err := g.checkInvariants(now); err != nil {
+					return uint64(now), g.abort(obs.ErrInvariant, now, err.Error())
+				}
+			}
 		}
 		if g.Progress != nil && next >= nextProgress {
 			g.Progress(obs.Progress{Cycle: uint64(now), Instructions: g.foldInstructions(), LiveBlocks: g.liveBlocks})
 			nextProgress = next + engine.Cycle(g.progressEvery())
 		}
 		now = next
+	}
+	// Final invariant audit: short kernels may never reach a prune boundary,
+	// and end-of-run state (all blocks retired, TLBs still populated) must
+	// also be well-formed.
+	if g.Invariants {
+		if err := g.checkInvariants(now); err != nil {
+			return uint64(now), g.abort(obs.ErrInvariant, now, err.Error())
+		}
 	}
 	if g.Sampler != nil {
 		// Forced final row: its cumulative columns equal the run's report.

@@ -1,0 +1,25 @@
+package mem
+
+import "fmt"
+
+// CheckInvariants verifies address-home agreement across the sliced L2:
+// every valid line cached in slice i must map back to partition i under the
+// line-interleaved address hash, or a request for that address would probe a
+// different slice and never see the cached copy. Read-only (no replacement
+// or timing state is touched); intended for the debug-build invariant
+// checker, not the hot path.
+func (s *System) CheckInvariants() error {
+	n := uint64(len(s.l2))
+	for si, c := range s.l2 {
+		for _, set := range c.sets {
+			for i := range set {
+				w := &set[i]
+				if w.valid && w.tag%n != uint64(si) {
+					return fmt.Errorf("mem: line %#x cached in L2 slice %d but homes at slice %d",
+						w.tag, si, w.tag%n)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package mem
+
+import (
+	"strings"
+	"testing"
+
+	"gpummu/internal/config"
+	"gpummu/internal/stats"
+)
+
+// TestCheckInvariantsSliceHoming: a freshly exercised system passes; a line
+// planted in a slice that is not its home is flagged.
+func TestCheckInvariantsSliceHoming(t *testing.T) {
+	cfg := config.SmallTest()
+	st := &stats.Sim{}
+	s := NewSystem(cfg, st)
+	if len(s.l2) < 2 {
+		t.Fatalf("SmallTest has %d partitions, need >= 2", len(s.l2))
+	}
+
+	// Legitimate traffic across both slices must audit clean.
+	line := uint64(cfg.L1LineSize)
+	for i := uint64(0); i < 64; i++ {
+		s.Access(0, i*line, ClassData)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatalf("clean system fails audit: %v", err)
+	}
+
+	// Plant the line for pa=lineSize (homes at slice 1) into slice 0.
+	s.l2[0].Access(line, -1)
+	err := s.CheckInvariants()
+	if err == nil {
+		t.Fatal("audit missed a line cached in the wrong slice")
+	}
+	if !strings.Contains(err.Error(), "slice") {
+		t.Fatalf("unhelpful audit error: %v", err)
+	}
+}

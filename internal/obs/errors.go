@@ -22,6 +22,12 @@ var (
 	ErrMaxCycles = errors.New("cycle budget exceeded")
 	// ErrDeadline fires when the wall-clock run deadline passes.
 	ErrDeadline = errors.New("run deadline exceeded")
+	// ErrInvariant fires when the debug-build invariant checker (enabled via
+	// the WithInvariants run option) finds corrupted microarchitectural
+	// state: a malformed SIMT stack, a TLB entry disagreeing with the page
+	// table, MSHR bookkeeping out of sync, or an L2 line cached in the wrong
+	// slice. Msg names the violated invariant.
+	ErrInvariant = errors.New("simulator invariant violated")
 )
 
 // AbortError is the typed error a simulation returns when it stops before

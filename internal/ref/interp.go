@@ -1,0 +1,294 @@
+package ref
+
+import (
+	"fmt"
+
+	"gpummu/internal/kernels"
+	"gpummu/internal/vm"
+)
+
+// Result is the outcome of one reference execution.
+type Result struct {
+	// Steps is the total number of instructions interpreted across all
+	// threads.
+	Steps uint64
+	// RegDigests holds one FNV digest of each thread's final register file,
+	// indexed by global thread id. Because every thread runs independently,
+	// the slice is invariant to execution order — the order-independence the
+	// differential harness relies on.
+	RegDigests []uint64
+}
+
+// interp is the per-launch interpreter state shared by all threads: the
+// program, launch geometry, and a per-4KB-page translation memo (the
+// reference walker is pure, so caching walks cannot change results).
+type interp struct {
+	as        *vm.AddressSpace
+	cr3       uint64
+	prog      []kernels.Instr
+	launch    *kernels.Launch
+	warpWidth int
+	memo      map[uint64]memoPage
+}
+
+type memoPage struct {
+	base  uint64 // physical base of the containing 4 KB region
+	fault bool
+}
+
+// Execute runs the launch to completion in the reference model: each thread
+// of the grid executes sequentially and independently, with no timing, no
+// caches, and no warps. Barriers are no-ops — valid precisely because the
+// differential generator only produces communication-free kernels (loads
+// from read-only data, stores to thread-exclusive slots), for which any
+// interleaving, including fully sequential, yields the same memory image.
+// warpWidth is needed only for the SpecLane/SpecWarp special registers.
+// maxStepsPerThread bounds each thread (malformed programs error out instead
+// of spinning).
+func Execute(as *vm.AddressSpace, l *kernels.Launch, warpWidth int, maxStepsPerThread uint64) (*Result, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("ref: %w", err)
+	}
+	if warpWidth < 1 {
+		return nil, fmt.Errorf("ref: warp width %d < 1", warpWidth)
+	}
+	x := &interp{
+		as:        as,
+		cr3:       as.PT.CR3(),
+		prog:      l.Program.Code,
+		launch:    l,
+		warpWidth: warpWidth,
+		memo:      make(map[uint64]memoPage),
+	}
+	res := &Result{RegDigests: make([]uint64, l.Grid*l.BlockDim)}
+	for blockID := 0; blockID < l.Grid; blockID++ {
+		for btid := 0; btid < l.BlockDim; btid++ {
+			gtid := blockID*l.BlockDim + btid
+			regs, steps, err := x.runThread(blockID, btid, maxStepsPerThread)
+			if err != nil {
+				return nil, fmt.Errorf("ref: thread %d (block %d, btid %d): %w", gtid, blockID, btid, err)
+			}
+			res.Steps += steps
+			res.RegDigests[gtid] = regDigest(&regs)
+		}
+	}
+	return res, nil
+}
+
+func regDigest(regs *[kernels.NumRegs]uint64) uint64 {
+	h := fnvOffset
+	for _, r := range regs {
+		h = fnvWord(h, r)
+	}
+	return h
+}
+
+// translate resolves va through the reference walker, memoised per 4 KB
+// region (which is exact for both 4 KB and 2 MB leaves: a 2 MB page's
+// regions all land on the same physical offsets).
+func (x *interp) translate(va uint64) (uint64, error) {
+	key := va >> refShift4K
+	m, cached := x.memo[key]
+	if !cached {
+		w := WalkPage(x.as.Mem, x.cr3, va)
+		m = memoPage{fault: w.Fault}
+		if !w.Fault {
+			m.base = w.PA &^ (uint64(1)<<refShift4K - 1)
+		}
+		x.memo[key] = m
+	}
+	if m.fault {
+		return 0, fmt.Errorf("page fault at va %#x", va)
+	}
+	return m.base | va&(uint64(1)<<refShift4K-1), nil
+}
+
+// special mirrors the special-register semantics of the timing simulator
+// (internal/gpu exec.go) exactly.
+func (x *interp) special(blockID, btid int, s kernels.Special) (uint64, error) {
+	l := x.launch
+	switch {
+	case s == kernels.SpecGlobalTID:
+		return uint64(blockID)*uint64(l.BlockDim) + uint64(btid), nil
+	case s == kernels.SpecBlockTID:
+		return uint64(btid), nil
+	case s == kernels.SpecBlockID:
+		return uint64(blockID), nil
+	case s == kernels.SpecBlockDim:
+		return uint64(l.BlockDim), nil
+	case s == kernels.SpecGridDim:
+		return uint64(l.Grid), nil
+	case s == kernels.SpecLane:
+		return uint64(btid % x.warpWidth), nil
+	case s == kernels.SpecWarp:
+		return uint64(btid / x.warpWidth), nil
+	case s >= kernels.SpecParam0 && s < kernels.SpecParam0+kernels.NumParams:
+		return l.Params[s-kernels.SpecParam0], nil
+	}
+	return 0, fmt.Errorf("unknown special %d", s)
+}
+
+// runThread interprets one thread start to exit.
+func (x *interp) runThread(blockID, btid int, maxSteps uint64) ([kernels.NumRegs]uint64, uint64, error) {
+	var regs [kernels.NumRegs]uint64
+	pc := int32(0)
+	n := int32(len(x.prog))
+	steps := uint64(0)
+	for {
+		if pc < 0 || pc >= n {
+			return regs, steps, fmt.Errorf("pc %d outside program (len %d)", pc, n)
+		}
+		if steps >= maxSteps {
+			return regs, steps, fmt.Errorf("exceeded %d steps at pc %d (runaway program)", maxSteps, pc)
+		}
+		steps++
+		in := &x.prog[pc]
+		switch in.Kind {
+		case kernels.KindALU:
+			v, err := x.alu(blockID, btid, &regs, in)
+			if err != nil {
+				return regs, steps, err
+			}
+			regs[in.Dst] = v
+			pc++
+		case kernels.KindLoad, kernels.KindStore:
+			if err := x.memAccess(&regs, in); err != nil {
+				return regs, steps, fmt.Errorf("pc %d: %w", pc, err)
+			}
+			pc++
+		case kernels.KindBranch:
+			v := regs[in.A]
+			taken := v != 0
+			if in.Cond == kernels.CondZ {
+				taken = v == 0
+			}
+			if taken {
+				pc = in.Target
+			} else {
+				pc++
+			}
+		case kernels.KindJump:
+			pc = in.Target
+		case kernels.KindBarrier:
+			// No-op: only valid for communication-free kernels (see Execute).
+			pc++
+		case kernels.KindExit:
+			return regs, steps, nil
+		default:
+			return regs, steps, fmt.Errorf("pc %d: unknown instruction kind %d", pc, in.Kind)
+		}
+	}
+}
+
+// alu mirrors internal/gpu's aluEval: unsigned 64-bit wraparound arithmetic,
+// shift amounts masked to 6 bits, division and remainder by zero yield zero.
+func (x *interp) alu(blockID, btid int, regs *[kernels.NumRegs]uint64, in *kernels.Instr) (uint64, error) {
+	a := regs[in.A]
+	r := regs[in.B]
+	imm := uint64(in.Imm)
+	switch in.Op {
+	case kernels.OpMov:
+		return a, nil
+	case kernels.OpMovImm:
+		return imm, nil
+	case kernels.OpAdd:
+		return a + r, nil
+	case kernels.OpAddImm:
+		return a + imm, nil
+	case kernels.OpSub:
+		return a - r, nil
+	case kernels.OpMul:
+		return a * r, nil
+	case kernels.OpMulImm:
+		return a * imm, nil
+	case kernels.OpDiv:
+		if r == 0 {
+			return 0, nil
+		}
+		return a / r, nil
+	case kernels.OpRem:
+		if r == 0 {
+			return 0, nil
+		}
+		return a % r, nil
+	case kernels.OpAnd:
+		return a & r, nil
+	case kernels.OpAndImm:
+		return a & imm, nil
+	case kernels.OpOr:
+		return a | r, nil
+	case kernels.OpXor:
+		return a ^ r, nil
+	case kernels.OpShlImm:
+		return a << (imm & 63), nil
+	case kernels.OpShrImm:
+		return a >> (imm & 63), nil
+	case kernels.OpMin:
+		if a < r {
+			return a, nil
+		}
+		return r, nil
+	case kernels.OpSltu:
+		if a < r {
+			return 1, nil
+		}
+		return 0, nil
+	case kernels.OpSltuImm:
+		if a < imm {
+			return 1, nil
+		}
+		return 0, nil
+	case kernels.OpSeq:
+		if a == r {
+			return 1, nil
+		}
+		return 0, nil
+	case kernels.OpSeqImm:
+		if a == imm {
+			return 1, nil
+		}
+		return 0, nil
+	case kernels.OpSpecial:
+		return x.special(blockID, btid, kernels.Special(in.Imm))
+	}
+	return 0, fmt.Errorf("unknown ALU op %d", in.Op)
+}
+
+// memAccess performs one functional load or store through the reference
+// walker. Misaligned accesses are errors (the simulated physical memory
+// would panic on them); faults are errors too, so the oracle never panics on
+// adversarial programs.
+func (x *interp) memAccess(regs *[kernels.NumRegs]uint64, in *kernels.Instr) error {
+	va := regs[in.A] + uint64(in.Imm)
+	if va%uint64(in.Size) != 0 {
+		return fmt.Errorf("misaligned %d-byte access at va %#x", in.Size, va)
+	}
+	pa, err := x.translate(va)
+	if err != nil {
+		return err
+	}
+	m := x.as.Mem
+	if in.Kind == kernels.KindStore {
+		v := regs[in.B]
+		switch in.Size {
+		case 1:
+			m.WriteU8(pa, byte(v))
+		case 4:
+			m.Write32(pa, uint32(v))
+		default:
+			m.Write64(pa, v)
+		}
+		return nil
+	}
+	var v uint64
+	switch in.Size {
+	case 1:
+		v = uint64(m.ReadU8(pa))
+	case 4:
+		v = uint64(m.Read32(pa))
+	default:
+		v = m.Read64(pa)
+	}
+	regs[in.Dst] = v
+	return nil
+}

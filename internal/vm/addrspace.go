@@ -38,6 +38,10 @@ func NewAddressSpace(mem *PhysMem, alloc *FrameAllocator, pageShift uint) *Addre
 // PageShift reports the mapping granularity of this space.
 func (as *AddressSpace) PageShift() uint { return as.pageShift }
 
+// HeapBase returns the virtual address where the heap starts (the base of
+// the first Malloc). Reference-model digests iterate mappings from here.
+func (as *AddressSpace) HeapBase() uint64 { return heapBase }
+
 // MappedBytes reports how much virtual memory has been mapped.
 func (as *AddressSpace) MappedBytes() uint64 { return as.mapped }
 

@@ -111,6 +111,18 @@ func (m *PhysMem) WriteU8(pa uint64, val byte) {
 	m.page(pa, true)[pa&(PageSize4K-1)] = val
 }
 
+// PageBytes returns a read-only view of the materialised 4 KB page holding
+// pa, or nil when the page has never been written (its contents read as
+// zeroes). Digest and diff code uses it to hash pages without a map lookup
+// per word; callers must not mutate the returned slice.
+func (m *PhysMem) PageBytes(pa uint64) []byte {
+	p := m.page(pa, false)
+	if p == nil {
+		return nil
+	}
+	return p[:]
+}
+
 // FrameAllocator hands out 4 KB physical frames in a pseudo-random order so
 // that consecutively mapped virtual pages land on scattered frames, as they
 // would on a long-running machine with a fragmented free list. Large-page

@@ -25,6 +25,10 @@ func (t *Translator) PageShift() uint { return t.shift }
 // VPN returns the virtual page number of va at this granularity.
 func (t *Translator) VPN(va uint64) uint64 { return va >> t.shift }
 
+// MemoSize reports how many page translations are currently memoised
+// (tests observe walk caching and Prewarm coverage through it).
+func (t *Translator) MemoSize() int { return len(t.cache) }
+
 // Lookup returns the cached translation for the page containing va,
 // walking the page table on first use.
 func (t *Translator) Lookup(va uint64) Translation {

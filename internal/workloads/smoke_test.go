@@ -1,0 +1,57 @@
+package workloads_test
+
+import (
+	"context"
+	"testing"
+
+	"gpummu"
+	"gpummu/internal/workloads"
+)
+
+// TestEveryWorkloadSmoke runs each registered workload at the tiny scale
+// with the invariant checker on and requires the functional check to pass
+// (Verified): the simulator must compute real results, not just traffic,
+// under a full MMU.
+func TestEveryWorkloadSmoke(t *testing.T) {
+	names := workloads.Names()
+	want := map[string]bool{
+		"bfs": true, "kmeans": true, "memcached": true, "mummergpu": true,
+		"pathfinder": true, "pointerchase": true, "streamcluster": true,
+	}
+	for w := range want {
+		found := false
+		for _, n := range names {
+			if n == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("workload %q missing from registry %v", w, names)
+		}
+	}
+
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := gpummu.SmallConfig()
+			cfg.MMU = gpummu.AugmentedMMU()
+			rep, err := gpummu.Run(context.Background(),
+				gpummu.WithConfig(cfg),
+				gpummu.WithWorkload(name, gpummu.SizeTiny),
+				gpummu.WithSeed(7),
+				gpummu.WithInvariants(),
+				gpummu.WithMaxCycles(500_000_000),
+				gpummu.WithWatchdog(20_000_000))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !rep.Verified {
+				t.Fatalf("%s: functional check did not run", name)
+			}
+			if rep.Cycles == 0 || rep.Instructions.Value() == 0 {
+				t.Fatalf("%s: empty run (cycles=%d)", name, rep.Cycles)
+			}
+		})
+	}
+}

@@ -56,6 +56,31 @@ echo "== zero-alloc warm path with observability off"
 go test -run 'TestExecMemSteadyStateAllocFree' ./internal/gpu
 go test -run 'TestWalkAllocFree|TestTranslatorHitAllocFree' ./internal/vm
 
+# Differential fuzzing smoke (DESIGN.md section 12): each target explores
+# beyond the committed seed corpus for a short budget. Failures minimise to
+# a replayable snippet — see cmd/difftest for longer soaks.
+echo "== differential fuzz smoke (15s per target)"
+go test -run '^$' -fuzz '^FuzzDiffKernel$' -fuzztime 15s ./internal/difftest
+go test -run '^$' -fuzz '^FuzzPageTable$' -fuzztime 15s ./internal/difftest
+go test -run '^$' -fuzz '^FuzzTLBVsWalk$' -fuzztime 15s ./internal/difftest
+
+# Coverage floor for the packages the invariant checker and differential
+# harness lean on hardest: translation hardware and the VM layer must stay
+# above 80% statement coverage.
+echo "== coverage floor (internal/core, internal/vm >= 80%)"
+for pkg in ./internal/core ./internal/vm; do
+	pct="$(go test -cover "$pkg" | awk -F'coverage: ' '/coverage:/ { split($2, a, "%"); print a[1] }')"
+	if [[ -z "$pct" ]]; then
+		echo "ci: FAIL could not parse coverage for $pkg" >&2
+		exit 1
+	fi
+	echo "ci: $pkg coverage ${pct}%"
+	if awk -v p="$pct" 'BEGIN { exit !(p < 80.0) }'; then
+		echo "ci: FAIL $pkg coverage ${pct}% below 80% floor" >&2
+		exit 1
+	fi
+done
+
 # Bench gate: one iteration of the figure-2 benchmark proves the hot path
 # still runs end to end, and its wall time must stay within 25% of the
 # recorded baseline (tools/bench_fig02_baseline.txt, ns/op). If no baseline
