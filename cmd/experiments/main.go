@@ -7,6 +7,8 @@
 //	experiments -fig 2,4,13                    # a subset, one report
 //	experiments -fig 3 -workloads bfs,mummergpu
 //	experiments -fig all -j 8 -v               # 8 workers, progress on stderr
+//	experiments -campaign sweep.yaml           # a declarative campaign file
+//	experiments -campaign sweep.yaml -validate # check + print canonical form
 //	experiments -list
 //
 // Output is a markdown-ish report: one table per figure, shaped like the
@@ -19,17 +21,25 @@
 // identical for any -j. A spec that fails (e.g. a simulated deadlock) is
 // reported on stderr with its workload and configuration and fails only
 // the figures that need it; the rest of the report still renders.
+//
+// With -campaign, the file supplies every setting a flag would; flags the
+// command line sets explicitly override the campaign (flags > campaign >
+// defaults, see DESIGN.md section 13). -machine replaces the campaign's
+// whole machine block; -fig replaces its figure list (and drops its sweep).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
 	"time"
 
+	"gpummu/internal/campaign"
 	"gpummu/internal/config"
 	"gpummu/internal/experiments"
 	"gpummu/internal/workloads"
@@ -52,10 +62,17 @@ func main() {
 		watchdog = flag.Uint64("watchdog", 0, "abort a run when no thread block retires for N cycles (0 = off)")
 		maxCyc   = flag.Uint64("maxcycles", 0, "per-run simulated cycle budget (0 = unbounded)")
 		deadline = flag.Duration("deadline", 0, "wall-clock budget for the whole report, e.g. 10m (0 = none)")
+		campFile = flag.String("campaign", "", "campaign file (YAML or JSON); explicitly-set flags override it")
+		validate = flag.Bool("validate", false, "validate -campaign, print its canonical form, and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// isSet records which flags the command line touched: an explicitly-set
+	// flag beats the campaign, an untouched one defers to it.
+	isSet := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { isSet[f.Name] = true })
 
 	stopProfiles := startProfiles(*cpuProf, *memProf)
 	defer stopProfiles()
@@ -65,62 +82,136 @@ func main() {
 		return
 	}
 
-	var sz workloads.Size
-	switch *size {
-	case "tiny":
-		sz = workloads.SizeTiny
-	case "small":
-		sz = workloads.SizeSmall
-	case "medium":
-		sz = workloads.SizeMedium
-	case "large":
-		sz = workloads.SizeLarge
-	default:
-		fatal("unknown -size %q", *size)
+	var camp *campaign.Campaign
+	if *campFile != "" {
+		c, err := campaign.Load(*campFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		camp = c
+	}
+	if *validate {
+		if camp == nil {
+			fatal("-validate requires -campaign")
+		}
+		os.Stdout.Write(camp.Emit())
+		return
 	}
 
-	mk := config.Baseline
-	if *machine == "small" {
-		mk = config.SmallTest
+	sizeName := *size
+	if camp != nil && !isSet["size"] {
+		sizeName = camp.Workloads.Size
 	}
-	machineFn := mk
+	sz, err := workloads.ParseSize(sizeName)
+	if err != nil {
+		fatal("-size: %v", err)
+	}
+
+	seedV := *seed
+	if camp != nil && !isSet["seed"] {
+		seedV = camp.Workloads.Seed
+	}
+	workersV := *workers
+	if camp != nil && !isSet["j"] && camp.Run.Workers > 0 {
+		workersV = camp.Run.Workers
+	}
+	parV := *par
+	if camp != nil && !isSet["par"] {
+		parV = camp.Run.Par
+	}
+
+	// -machine replaces the campaign's whole machine block (preset and
+	// overrides); otherwise the campaign machine is used as-is. -cores
+	// applies last either way.
+	var machineFn func() config.Hardware
+	if camp != nil && !isSet["machine"] {
+		machineFn = camp.MachineFunc()
+	} else {
+		switch *machine {
+		case "baseline":
+			machineFn = config.Baseline
+		case "small":
+			machineFn = config.SmallTest
+		default:
+			fatal("unknown -machine %q (have baseline, small)", *machine)
+		}
+	}
 	if *coresOvr > 0 {
+		base := machineFn
 		machineFn = func() config.Hardware {
-			c := mk()
+			c := base()
 			c.NumCores = *coresOvr
 			return c
 		}
 	}
 
-	if *smplDir != "" && *sample == 0 {
-		fatal("-sampledir requires -sample")
-	}
 	ob := experiments.ObsOptions{
 		SampleEvery: *sample,
 		SampleDir:   *smplDir,
 		Watchdog:    *watchdog,
 		MaxCycles:   *maxCyc,
 	}
-	if *deadline > 0 {
-		ob.Deadline = time.Now().Add(*deadline)
+	deadlineV := *deadline
+	if camp != nil {
+		if !isSet["sample"] {
+			ob.SampleEvery = camp.Obs.SampleEvery
+		}
+		if !isSet["sampledir"] {
+			ob.SampleDir = camp.Obs.SampleDir
+		}
+		if !isSet["watchdog"] {
+			ob.Watchdog = camp.Obs.Watchdog
+		}
+		if !isSet["maxcycles"] {
+			ob.MaxCycles = camp.Obs.MaxCycles
+		}
+		if !isSet["deadline"] {
+			deadlineV = camp.Obs.Deadline
+		}
+	}
+	if ob.SampleDir != "" && ob.SampleEvery == 0 {
+		fatal("-sampledir requires -sample")
+	}
+	if deadlineV > 0 {
+		ob.Deadline = time.Now().Add(deadlineV)
+	}
+
+	var names []string
+	if camp != nil && !isSet["workloads"] {
+		names = camp.Workloads.Names
+	} else if *wl != "" {
+		for _, n := range strings.Split(*wl, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	// Fail fast on names the registry (or the trace resolver) rejects,
+	// listing what would have worked, instead of erroring mid-report.
+	for _, n := range names {
+		if err := workloads.Resolve(n); err != nil {
+			fatal("-workloads: %v", err)
+		}
 	}
 
 	opt := experiments.Options{
 		Size:        sz,
-		Seed:        *seed,
+		Seed:        seedV,
 		Machine:     machineFn,
-		Workers:     *workers,
+		Workload:    names,
+		Workers:     workersV,
 		Verbose:     *verbose,
-		CoreWorkers: *par,
+		CoreWorkers: parV,
 		Obs:         ob,
 	}
-	if *wl != "" {
-		opt.Workload = strings.Split(*wl, ",")
-	}
-	h := experiments.New(os.Stdout, opt)
 
 	var figs []experiments.Figure
-	if *fig == "all" {
+	if camp != nil && !isSet["fig"] {
+		figs, err = camp.ExpandFigures()
+		if err != nil {
+			fatal("%v", err)
+		}
+	} else if *fig == "all" {
 		figs = experiments.All()
 	} else {
 		for _, id := range strings.Split(*fig, ",") {
@@ -136,13 +227,44 @@ func main() {
 		}
 	}
 
+	// The campaign's output.report redirects the report into a file; flag
+	// invocations keep writing to stdout.
+	out := io.Writer(os.Stdout)
+	var reportFile *os.File
+	if camp != nil && camp.Output.Report != "" {
+		if dir := filepath.Dir(camp.Output.Report); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatal("output.report: %v", err)
+			}
+		}
+		f, err := os.Create(camp.Output.Report)
+		if err != nil {
+			fatal("output.report: %v", err)
+		}
+		reportFile = f
+		out = f
+	}
+	closeReport := func() {
+		if reportFile == nil {
+			return
+		}
+		if err := reportFile.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: output.report: %v\n", err)
+		}
+		reportFile = nil
+	}
+
+	h := experiments.New(out, opt)
+
 	// RunFigures keeps going past failed specs: broken runs are logged by
 	// the executor and surface here after the full report has rendered.
 	if err := experiments.RunFigures(h, figs); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: some figures failed:\n%v\n", err)
+		closeReport()
 		stopProfiles()
 		os.Exit(1)
 	}
+	closeReport()
 }
 
 // startProfiles starts the requested pprof collection and returns an

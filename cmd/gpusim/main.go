@@ -9,6 +9,12 @@
 //	gpusim -workload memcached -mmu ideal -tbc tlb-aware -pages 2m
 //	gpusim -workload all -j 8 -mmu augmented   # every workload, in parallel
 //	gpusim -workload bfs,kmeans -json          # machine-readable array
+//	gpusim -campaign replay.yaml               # machine + workloads from a file
+//
+// -campaign takes the machine, workload set, and run options from a
+// campaign file (see DESIGN.md section 13); explicitly-set flags override
+// it (flags > campaign > defaults). Campaigns that declare sweep axes or
+// figures belong to cmd/experiments — gpusim runs only the workload set.
 //
 // -workload accepts a single name, a comma-separated list, or "all"; with
 // more than one workload the simulations run on -j parallel goroutines
@@ -27,6 +33,7 @@ import (
 	"sync"
 	"time"
 
+	"gpummu/internal/campaign"
 	"gpummu/internal/config"
 	"gpummu/internal/gpu"
 	"gpummu/internal/obs"
@@ -65,10 +72,16 @@ func main() {
 		maxCyc   = flag.Uint64("maxcycles", 0, "abort after N simulated cycles (0 = unbounded)")
 		deadline = flag.Duration("deadline", 0, "wall-clock budget for the run, e.g. 30s (0 = none)")
 		progress = flag.Bool("v", false, "log per-run completion to stderr")
+		campFile = flag.String("campaign", "", "campaign file (YAML or JSON); explicitly-set flags override it")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	// isSet records which flags the command line touched: an explicitly-set
+	// flag beats the campaign, an untouched one defers to it.
+	isSet := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { isSet[f.Name] = true })
 
 	stopProfiles := startProfiles(*cpuProf, *memProf)
 	defer stopProfiles()
@@ -80,86 +93,168 @@ func main() {
 		return
 	}
 
-	cfg := config.Baseline()
+	var camp *campaign.Campaign
+	if *campFile != "" {
+		c, err := campaign.Load(*campFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if len(c.Sweep.Axes) > 0 {
+			fatal("campaign %q declares sweep axes; run it with cmd/experiments", c.Name)
+		}
+		camp = c
+	}
+
+	var cfg config.Hardware
+	if camp != nil {
+		c, err := camp.MachineConfig()
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg = c
+	} else {
+		cfg = config.Baseline()
+	}
 	if *cores > 0 {
 		cfg.NumCores = *cores
 	}
 
-	switch *mmu {
-	case "none":
-	case "naive":
-		cfg.MMU = config.NaiveMMU(*ports)
-	case "nonblocking":
-		cfg.MMU = config.NaiveMMU(*ports)
-		cfg.MMU.HitsUnderMiss = true
-		cfg.MMU.CacheOverlap = true
-	case "augmented":
-		cfg.MMU = config.AugmentedMMU()
-		cfg.MMU.Ports = *ports
-	case "ideal":
-		cfg.MMU = config.MMU{}.Ideal()
-	default:
-		fatal("unknown -mmu %q", *mmu)
-	}
-	if cfg.MMU.Enabled {
-		cfg.MMU.Entries = *entries
-		cfg.MMU.NumPTWs = *ptws
-		cfg.MMU.SharedTLBEntries = *shared
-		cfg.MMU.PWCEntries = *pwc
-		if *software {
+	// Without a campaign the -mmu/-sched/-tbc/-pages blocks apply as they
+	// always have (flag defaults included). With one, the campaign machine
+	// is authoritative and only explicitly-set flags override it.
+	if camp == nil || isSet["mmu"] {
+		switch *mmu {
+		case "none":
+			if isSet["mmu"] {
+				cfg.MMU = config.MMU{Enabled: false}
+			}
+		case "naive":
+			cfg.MMU = config.NaiveMMU(*ports)
+		case "nonblocking":
+			cfg.MMU = config.NaiveMMU(*ports)
+			cfg.MMU.HitsUnderMiss = true
+			cfg.MMU.CacheOverlap = true
+		case "augmented":
+			cfg.MMU = config.AugmentedMMU()
+			cfg.MMU.Ports = *ports
+		case "ideal":
+			cfg.MMU = config.MMU{}.Ideal()
+		default:
+			fatal("unknown -mmu %q", *mmu)
+		}
+		if cfg.MMU.Enabled {
+			cfg.MMU.Entries = *entries
+			cfg.MMU.NumPTWs = *ptws
+			cfg.MMU.SharedTLBEntries = *shared
+			cfg.MMU.PWCEntries = *pwc
+			if *software {
+				cfg.MMU.SoftwareWalks = true
+				cfg.MMU.SoftwareWalkOverhead = 300
+			}
+		}
+	} else if cfg.MMU.Enabled {
+		if isSet["entries"] {
+			cfg.MMU.Entries = *entries
+		}
+		if isSet["ports"] {
+			cfg.MMU.Ports = *ports
+		}
+		if isSet["ptws"] {
+			cfg.MMU.NumPTWs = *ptws
+		}
+		if isSet["sharedtlb"] {
+			cfg.MMU.SharedTLBEntries = *shared
+		}
+		if isSet["pwc"] {
+			cfg.MMU.PWCEntries = *pwc
+		}
+		if isSet["software-walks"] && *software {
 			cfg.MMU.SoftwareWalks = true
 			cfg.MMU.SoftwareWalkOverhead = 300
 		}
 	}
 
-	switch *sched {
-	case "lrr":
-	case "gto":
-		cfg.Sched.Policy = config.SchedGTO
-	case "ccws":
-		cfg.Sched.Policy = config.SchedCCWS
-	case "ta-ccws":
-		cfg.Sched.Policy = config.SchedTACCWS
-		cfg.Sched.TLBMissWeight = 4
-	case "tcws":
-		cfg.Sched.Policy = config.SchedTCWS
-		cfg.Sched.TLBMissWeight = 4
-		cfg.Sched.VTAEntriesPerWarp = 8
-		cfg.Sched.LRUDepthWeights = []int{1, 2, 4, 8}
-	default:
-		fatal("unknown -sched %q", *sched)
+	if camp == nil || isSet["sched"] {
+		switch *sched {
+		case "lrr":
+			if isSet["sched"] {
+				cfg.Sched.Policy = config.SchedLRR
+			}
+		case "gto":
+			cfg.Sched.Policy = config.SchedGTO
+		case "ccws":
+			cfg.Sched.Policy = config.SchedCCWS
+		case "ta-ccws":
+			cfg.Sched.Policy = config.SchedTACCWS
+			cfg.Sched.TLBMissWeight = 4
+		case "tcws":
+			cfg.Sched.Policy = config.SchedTCWS
+			cfg.Sched.TLBMissWeight = 4
+			cfg.Sched.VTAEntriesPerWarp = 8
+			cfg.Sched.LRUDepthWeights = []int{1, 2, 4, 8}
+		default:
+			fatal("unknown -sched %q", *sched)
+		}
 	}
 
-	switch *tbc {
-	case "off":
-	case "tbc":
-		cfg.TBC.Mode = config.DivTBC
-	case "tlb-aware":
-		cfg.TBC.Mode = config.DivTLBTBC
-	default:
-		fatal("unknown -tbc %q", *tbc)
+	if camp == nil || isSet["tbc"] {
+		switch *tbc {
+		case "off":
+			if isSet["tbc"] {
+				cfg.TBC.Mode = config.DivStack
+			}
+		case "tbc":
+			cfg.TBC.Mode = config.DivTBC
+		case "tlb-aware":
+			cfg.TBC.Mode = config.DivTLBTBC
+		default:
+			fatal("unknown -tbc %q", *tbc)
+		}
 	}
 
-	if *pages == "2m" {
-		cfg.PageShift = 21
+	if camp == nil || isSet["pages"] {
+		switch *pages {
+		case "4k":
+			if isSet["pages"] {
+				cfg.PageShift = 12
+			}
+		case "2m":
+			cfg.PageShift = 21
+		default:
+			fatal("unknown -pages %q", *pages)
+		}
 	}
 
-	var sz workloads.Size
-	switch *size {
-	case "tiny":
-		sz = workloads.SizeTiny
-	case "small":
-		sz = workloads.SizeSmall
-	case "medium":
-		sz = workloads.SizeMedium
-	case "large":
-		sz = workloads.SizeLarge
-	default:
-		fatal("unknown -size %q", *size)
+	if camp != nil && !isSet["size"] {
+		*size = camp.Workloads.Size
+	}
+	sz, err := workloads.ParseSize(*size)
+	if err != nil {
+		fatal("-size: %v", err)
+	}
+	if camp != nil && !isSet["seed"] {
+		*seed = camp.Workloads.Seed
+	}
+	if camp != nil && !isSet["par"] {
+		*par = camp.Run.Par
+	}
+	if camp != nil && !isSet["j"] && camp.Run.Workers > 0 {
+		*workers = camp.Run.Workers
+	}
+	if camp != nil && !isSet["watchdog"] {
+		*watchdog = camp.Obs.Watchdog
+	}
+	if camp != nil && !isSet["maxcycles"] {
+		*maxCyc = camp.Obs.MaxCycles
+	}
+	if camp != nil && !isSet["deadline"] {
+		*deadline = camp.Obs.Deadline
 	}
 
 	var names []string
-	if *workload == "all" {
+	if camp != nil && !isSet["workload"] {
+		names = camp.Workloads.Names
+	} else if *workload == "all" {
 		names = workloads.Names()
 	} else {
 		for _, n := range strings.Split(*workload, ",") {
@@ -170,6 +265,13 @@ func main() {
 	}
 	if len(names) == 0 {
 		fatal("no workloads given")
+	}
+	// Fail fast on names the registry (or the trace resolver) rejects,
+	// listing what would have worked.
+	for _, n := range names {
+		if err := workloads.Resolve(n); err != nil {
+			fatal("%v", err)
+		}
 	}
 	if len(names) > 1 {
 		for _, f := range []struct {

@@ -1,0 +1,247 @@
+// Hardware expansion: dotted-path field overrides over config.Hardware and
+// the sweep cross-product.
+package campaign
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gpummu/internal/config"
+)
+
+// presetFunc resolves a machine preset name.
+func presetFunc(name string) (func() config.Hardware, error) {
+	switch name {
+	case "baseline":
+		return config.Baseline, nil
+	case "small":
+		return config.SmallTest, nil
+	}
+	return nil, fmt.Errorf("unknown machine preset %q", name)
+}
+
+// schedPolicies and divModes map the CLI spellings (the enums' String()
+// forms) back to their values, so campaigns sweep schedulers by name.
+var schedPolicies = map[string]config.SchedulerPolicy{
+	"lrr": config.SchedLRR, "gto": config.SchedGTO, "ccws": config.SchedCCWS,
+	"ta-ccws": config.SchedTACCWS, "tcws": config.SchedTCWS,
+}
+
+var divModes = map[string]config.DivergenceMode{
+	"stack": config.DivStack, "tbc": config.DivTBC, "tlb-tbc": config.DivTLBTBC,
+}
+
+// setField sets the dotted, case-insensitive field path of hw from a parsed
+// scalar (string) or list ([]node or []string) and returns the canonical Go
+// path plus the canonically formatted value (string, or []string for list
+// fields). It is the single mechanism behind machine.set overrides and
+// sweep axes, so both share spellings and error messages.
+func setField(hw *config.Hardware, path string, val any) (canonPath string, canonVal any, err error) {
+	v := reflect.ValueOf(hw).Elem()
+	var canon []string
+	segs := strings.Split(path, ".")
+	for i, seg := range segs {
+		if v.Kind() != reflect.Struct {
+			return "", nil, fmt.Errorf("%s is not a struct", strings.Join(canon, "."))
+		}
+		f, ok := fieldByNameFold(v, seg)
+		if !ok {
+			return "", nil, fmt.Errorf("unknown hardware field %q under %q", seg, strings.Join(canon, "."))
+		}
+		canon = append(canon, v.Type().Field(f).Name)
+		v = v.Field(f)
+		if i == len(segs)-1 {
+			canonVal, err = assign(v, val)
+			if err != nil {
+				return "", nil, fmt.Errorf("%s: %w", strings.Join(canon, "."), err)
+			}
+			return strings.Join(canon, "."), canonVal, nil
+		}
+	}
+	return "", nil, fmt.Errorf("empty field path")
+}
+
+// fieldByNameFold finds a struct field case-insensitively.
+func fieldByNameFold(v reflect.Value, name string) (int, bool) {
+	t := v.Type()
+	for i := 0; i < t.NumField(); i++ {
+		if strings.EqualFold(t.Field(i).Name, name) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// assign writes a parsed value into a leaf field and returns its canonical
+// string form.
+func assign(v reflect.Value, val any) (any, error) {
+	if list, ok := asStringList(val); ok {
+		if v.Kind() != reflect.Slice || v.Type().Elem().Kind() != reflect.Int {
+			return nil, fmt.Errorf("a list is only valid for []int fields")
+		}
+		ints := make([]int, len(list))
+		canon := make([]string, len(list))
+		for i, s := range list {
+			n, err := strconv.Atoi(s)
+			if err != nil {
+				return nil, fmt.Errorf("bad int %q in list", s)
+			}
+			ints[i] = n
+			canon[i] = strconv.Itoa(n)
+		}
+		v.Set(reflect.ValueOf(ints))
+		return canon, nil
+	}
+	s, ok := val.(string)
+	if !ok {
+		return nil, fmt.Errorf("expected a scalar")
+	}
+	switch v.Type() {
+	case reflect.TypeOf(config.SchedulerPolicy(0)):
+		p, ok := schedPolicies[s]
+		if !ok {
+			return nil, fmt.Errorf("unknown scheduler policy %q (have lrr, gto, ccws, ta-ccws, tcws)", s)
+		}
+		v.Set(reflect.ValueOf(p))
+		return p.String(), nil
+	case reflect.TypeOf(config.DivergenceMode(0)):
+		m, ok := divModes[s]
+		if !ok {
+			return nil, fmt.Errorf("unknown divergence mode %q (have stack, tbc, tlb-tbc)", s)
+		}
+		v.Set(reflect.ValueOf(m))
+		return m.String(), nil
+	}
+	switch v.Kind() {
+	case reflect.Int:
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q", s)
+		}
+		v.SetInt(n)
+		return strconv.FormatInt(n, 10), nil
+	case reflect.Uint:
+		n, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad uint %q", s)
+		}
+		v.SetUint(n)
+		return strconv.FormatUint(n, 10), nil
+	case reflect.Bool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad bool %q", s)
+		}
+		v.SetBool(b)
+		return strconv.FormatBool(b), nil
+	case reflect.String:
+		v.SetString(s)
+		return s, nil
+	}
+	return nil, fmt.Errorf("unsupported field kind %s", v.Kind())
+}
+
+// asStringList folds the parser's list forms into []string.
+func asStringList(val any) ([]string, bool) {
+	switch t := val.(type) {
+	case []string:
+		return t, true
+	case []node:
+		out := make([]string, len(t))
+		for i, n := range t {
+			s, ok := n.(string)
+			if !ok {
+				return nil, false
+			}
+			out[i] = s
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// MachineConfig builds the campaign's base hardware: the preset with every
+// machine.set override applied, in sorted path order (overrides are
+// independent field writes, so order only matters for error reporting).
+func (c *Campaign) MachineConfig() (config.Hardware, error) {
+	base, err := presetFunc(c.Machine.Preset)
+	if err != nil {
+		return config.Hardware{}, badField("machine.preset", c.Machine.Preset, err.Error())
+	}
+	hw := base()
+	paths := make([]string, 0, len(c.Machine.Set))
+	for p := range c.Machine.Set {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if _, _, err := setField(&hw, p, c.Machine.Set[p]); err != nil {
+			return config.Hardware{}, badField("machine.set."+p, c.Machine.Set[p], err.Error())
+		}
+	}
+	if err := hw.Validate(); err != nil {
+		return config.Hardware{}, fmt.Errorf("machine: %w", err)
+	}
+	return hw, nil
+}
+
+// MachineFunc returns the machine constructor the experiment harness
+// expects; every call rebuilds the config so callers can mutate their copy
+// freely. Validate must have passed.
+func (c *Campaign) MachineFunc() func() config.Hardware {
+	return func() config.Hardware {
+		hw, err := c.MachineConfig()
+		if err != nil {
+			// Load validated the campaign; reaching this means the caller
+			// bypassed Parse, which is a programming error.
+			panic(fmt.Sprintf("campaign: invalid machine after validation: %v", err))
+		}
+		return hw
+	}
+}
+
+// sweepPoint is one expanded configuration of the sweep cross-product.
+type sweepPoint struct {
+	label string // "MMU.Entries=64 MMU.Ports=3", column header material
+	cfg   config.Hardware
+}
+
+// sweepPoints expands the cross-product of the sweep axes over the base
+// machine, first axis outermost, validating every configuration up front.
+func (c *Campaign) sweepPoints() ([]sweepPoint, error) {
+	if len(c.Sweep.Axes) == 0 {
+		return nil, nil
+	}
+	base, err := c.MachineConfig()
+	if err != nil {
+		return nil, err
+	}
+	points := []sweepPoint{{cfg: base}}
+	for i, ax := range c.Sweep.Axes {
+		next := make([]sweepPoint, 0, len(points)*len(ax.Values))
+		for _, pt := range points {
+			for _, val := range ax.Values {
+				cfg := pt.cfg
+				canon, _, err := setField(&cfg, ax.Field, val)
+				if err != nil {
+					return nil, badField(fmt.Sprintf("sweep.axes[%d]", i), val, err.Error())
+				}
+				label := fmt.Sprintf("%s=%s", canon, val)
+				if pt.label != "" {
+					label = pt.label + " " + label
+				}
+				next = append(next, sweepPoint{label: label, cfg: cfg})
+			}
+		}
+		points = next
+	}
+	for _, pt := range points {
+		if err := pt.cfg.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep point [%s]: %w", pt.label, err)
+		}
+	}
+	return points, nil
+}

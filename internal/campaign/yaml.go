@@ -1,0 +1,344 @@
+// A dependency-free parser for the YAML subset campaign files use, plus a
+// JSON front end mapping onto the same generic tree.
+//
+// The repository deliberately carries no third-party modules, so instead of
+// a full YAML implementation this file parses the block subset the
+// canonical emitter (emit.go) produces — nested mappings by two-space
+// indentation, "- " list items (scalar or mapping), flow lists "[a, b]",
+// the empty flow mapping "{}", double-quoted strings with Go escapes, and
+// "#" comments — which is also the subset every committed example sticks
+// to. Anything outside the subset is a parse error with a line number, not
+// a silent misread. Campaign files may equally be JSON: a document whose
+// first non-space byte is '{' goes through encoding/json and is folded into
+// the same tree.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// node is the generic parse tree: map[string]node, []node, or a string
+// scalar. Scalars stay strings until the decode layer, which knows each
+// field's type; JSON numbers and booleans are folded to their canonical
+// string spellings so both front ends decode identically.
+type node any
+
+// yline is one significant line of a YAML document.
+type yline struct {
+	no     int // 1-based line number in the source
+	indent int
+	text   string // comment-stripped, trimmed
+}
+
+// yerrf builds a parse error carrying the line number.
+func yerrf(no int, format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", no, fmt.Sprintf(format, args...))
+}
+
+// parseTree parses a YAML or JSON document into the generic tree.
+func parseTree(data []byte) (node, error) {
+	trimmed := strings.TrimLeft(string(data), " \t\r\n")
+	if strings.HasPrefix(trimmed, "{") {
+		var v any
+		if err := json.Unmarshal(data, &v); err != nil {
+			return nil, fmt.Errorf("json: %w", err)
+		}
+		return jsonNode(v), nil
+	}
+	lines, err := splitLines(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("empty document")
+	}
+	p := &yparser{lines: lines}
+	root, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.i < len(p.lines) {
+		return nil, yerrf(p.lines[p.i].no, "content outside the document root (bad indentation?)")
+	}
+	return root, nil
+}
+
+// jsonNode folds a decoded JSON value into the generic tree.
+func jsonNode(v any) node {
+	switch t := v.(type) {
+	case map[string]any:
+		m := make(map[string]node, len(t))
+		for k, e := range t {
+			m[k] = jsonNode(e)
+		}
+		return m
+	case []any:
+		l := make([]node, len(t))
+		for i, e := range t {
+			l[i] = jsonNode(e)
+		}
+		return l
+	case string:
+		return t
+	case float64:
+		return strconv.FormatFloat(t, 'g', -1, 64)
+	case bool:
+		return strconv.FormatBool(t)
+	case nil:
+		return ""
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// splitLines strips comments and blanks and records indentation.
+func splitLines(data []byte) ([]yline, error) {
+	var out []yline
+	for no, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, "\r")
+		if strings.ContainsRune(line, '\t') {
+			return nil, yerrf(no+1, "tabs are not allowed for indentation")
+		}
+		line = stripComment(line)
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		out = append(out, yline{
+			no:     no + 1,
+			indent: len(line) - len(strings.TrimLeft(line, " ")),
+			text:   trimmed,
+		})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "#" comment that is outside double quotes
+// and preceded by start-of-line or whitespace.
+func stripComment(line string) string {
+	inQuote := false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '"':
+			if !inQuote {
+				inQuote = true
+			} else if i == 0 || line[i-1] != '\\' {
+				inQuote = false
+			}
+		case '#':
+			if !inQuote && (i == 0 || line[i-1] == ' ') {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// yparser walks the significant lines recursively.
+type yparser struct {
+	lines []yline
+	i     int
+}
+
+// parseBlock parses the mapping or list starting at the current line.
+func (p *yparser) parseBlock(indent int) (node, error) {
+	l := p.lines[p.i]
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseList(indent)
+	}
+	return p.parseMap(indent)
+}
+
+// parseMap parses "key: value" entries at exactly the given indent.
+func (p *yparser) parseMap(indent int) (node, error) {
+	m := map[string]node{}
+	for p.i < len(p.lines) {
+		l := p.lines[p.i]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent {
+			return nil, yerrf(l.no, "unexpected indent %d (mapping is at %d)", l.indent, indent)
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			return nil, yerrf(l.no, "list item inside a mapping")
+		}
+		key, rest, err := cutKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, yerrf(l.no, "duplicate key %q", key)
+		}
+		p.i++
+		if rest == "" {
+			// Either a nested block or an empty scalar.
+			if p.i < len(p.lines) && p.lines[p.i].indent > indent {
+				child, err := p.parseBlock(p.lines[p.i].indent)
+				if err != nil {
+					return nil, err
+				}
+				m[key] = child
+			} else {
+				m[key] = ""
+			}
+			continue
+		}
+		v, err := parseFlow(l.no, rest)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+// parseList parses "- item" entries at exactly the given indent.
+func (p *yparser) parseList(indent int) (node, error) {
+	out := []node{}
+	for p.i < len(p.lines) {
+		l := p.lines[p.i]
+		if l.indent < indent {
+			break
+		}
+		if l.indent > indent || !(l.text == "-" || strings.HasPrefix(l.text, "- ")) {
+			return nil, yerrf(l.no, "expected a %d-indented list item", indent)
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(l.text, "-"))
+		switch {
+		case rest == "":
+			// Item body is the following deeper block.
+			p.i++
+			if p.i >= len(p.lines) || p.lines[p.i].indent <= indent {
+				return nil, yerrf(l.no, "empty list item")
+			}
+			child, err := p.parseBlock(p.lines[p.i].indent)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, child)
+		case isMapStart(rest):
+			// Mapping whose first entry shares the dash line; its other
+			// entries sit two columns past the dash.
+			p.lines[p.i] = yline{no: l.no, indent: indent + 2, text: rest}
+			child, err := p.parseMap(indent + 2)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, child)
+		default:
+			v, err := parseFlow(l.no, rest)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, v)
+			p.i++
+		}
+	}
+	return out, nil
+}
+
+// cutKey splits "key: value" (or "key:") at the first colon.
+func cutKey(l yline) (key, rest string, err error) {
+	idx := strings.IndexByte(l.text, ':')
+	if idx <= 0 {
+		return "", "", yerrf(l.no, "expected \"key: value\", got %q", l.text)
+	}
+	key = l.text[:idx]
+	if strings.ContainsAny(key, "\" []{}") {
+		return "", "", yerrf(l.no, "bad mapping key %q", key)
+	}
+	rest = strings.TrimSpace(l.text[idx+1:])
+	if rest != "" && l.text[idx+1] != ' ' {
+		return "", "", yerrf(l.no, "missing space after %q:", key)
+	}
+	return key, rest, nil
+}
+
+// isMapStart reports whether a list-item body begins a mapping ("key: ..."),
+// as opposed to a scalar that merely contains colons ("trace:foo.csv").
+func isMapStart(s string) bool {
+	idx := strings.IndexByte(s, ':')
+	if idx <= 0 || strings.ContainsAny(s[:idx], "\" []{}") {
+		return false
+	}
+	return idx == len(s)-1 || s[idx+1] == ' '
+}
+
+// parseFlow parses an inline value: a flow list, the empty flow mapping,
+// a quoted string, or a bare scalar.
+func parseFlow(no int, s string) (node, error) {
+	switch {
+	case s == "{}":
+		return map[string]node{}, nil
+	case strings.HasPrefix(s, "{"):
+		return nil, yerrf(no, "flow mappings are not supported (only {})")
+	case strings.HasPrefix(s, "["):
+		if !strings.HasSuffix(s, "]") {
+			return nil, yerrf(no, "unterminated flow list %q", s)
+		}
+		inner := strings.TrimSpace(s[1 : len(s)-1])
+		if inner == "" {
+			return []node{}, nil
+		}
+		items, err := splitFlowItems(no, inner)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]node, 0, len(items))
+		for _, it := range items {
+			v, err := parseFlow(no, it)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := v.(string); !ok {
+				return nil, yerrf(no, "nested flow collections are not supported")
+			}
+			out = append(out, v)
+		}
+		return out, nil
+	case strings.HasPrefix(s, "\""):
+		uq, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, yerrf(no, "bad quoted string %s", s)
+		}
+		return uq, nil
+	case strings.ContainsAny(s, "[]{}\""):
+		return nil, yerrf(no, "bad scalar %q", s)
+	}
+	return s, nil
+}
+
+// splitFlowItems splits flow-list contents on top-level commas, respecting
+// double quotes.
+func splitFlowItems(no int, s string) ([]string, error) {
+	var items []string
+	start, inQuote := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if !inQuote {
+				inQuote = true
+			} else if s[i-1] != '\\' {
+				inQuote = false
+			}
+		case ',':
+			if !inQuote {
+				items = append(items, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if inQuote {
+		return nil, yerrf(no, "unterminated string in flow list")
+	}
+	items = append(items, strings.TrimSpace(s[start:]))
+	for _, it := range items {
+		if it == "" {
+			return nil, yerrf(no, "empty item in flow list")
+		}
+	}
+	return items, nil
+}

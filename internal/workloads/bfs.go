@@ -15,6 +15,8 @@ const levelINF = int64(1) << 40
 // are data-dependent scatters across the level array — the access pattern
 // behind bfs's high page divergence and TLB miss rate in the paper's
 // figure 3.
+func init() { Register("bfs", buildBFS) }
+
 func buildBFS(env *Env) (*Workload, error) {
 	n := env.scale(2<<10, 64<<10, 256<<10, 1<<20)
 	avgDeg := env.scale(4, 8, 12, 16)

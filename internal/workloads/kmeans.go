@@ -13,6 +13,8 @@ import (
 // warp-scattered point assignment the per-core page working set cycles far
 // beyond a 128-entry TLB each pass — the moderate-miss-rate streaming
 // profile the paper reports for kmeans.
+func init() { Register("kmeans", buildKMeans) }
+
 func buildKMeans(env *Env) (*Workload, error) {
 	p := env.scale(4<<10, 256<<10, 1<<20, 4<<20)
 	f := env.scale(4, 4, 4, 8)

@@ -12,6 +12,8 @@ import (
 // Hetherington et al.) probing an open-chaining hash table. Each probe
 // hashes the key and chases a bucket chain — scattered reads over a large
 // table with hot-key reuse, the signature memcached pattern.
+func init() { Register("memcached", buildMemcached) }
+
 func buildMemcached(env *Env) (*Workload, error) {
 	requests := env.scale(2<<10, 64<<10, 256<<10, 1<<20)
 	perThread := 2

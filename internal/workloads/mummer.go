@@ -11,6 +11,8 @@ import (
 // node. Each step is a data-dependent load at an essentially random
 // location, which is why mummergpu has the worst page divergence in the
 // paper (average above 8, maximum 32 — warp lanes walk unrelated subtrees).
+func init() { Register("mummergpu", buildMummer) }
+
 func buildMummer(env *Env) (*Workload, error) {
 	queries := env.scale(2<<10, 64<<10, 256<<10, 1<<20)
 	qlen := env.scale(8, 12, 14, 16)

@@ -11,6 +11,8 @@ import (
 // neighbours of the previous row, with a block barrier between rows. The
 // access pattern is fully coalesced streaming, which is why pathfinder has
 // the lowest TLB overheads in the paper.
+func init() { Register("pathfinder", buildPathfinder) }
+
 func buildPathfinder(env *Env) (*Workload, error) {
 	cols := env.scale(2<<10, 256<<10, 1<<20, 2<<20)
 	rows := env.scale(6, 8, 10, 14)

@@ -10,6 +10,8 @@ import (
 // thread chases a random permutation ring for a fixed number of hops. It
 // produces maximal page divergence and near-zero locality — a worst-case
 // probe for TLB designs, used by examples and tests.
+func init() { Register("pointerchase", buildPointerChase) }
+
 func buildPointerChase(env *Env) (*Workload, error) {
 	nodes := env.scale(4<<10, 1<<20, 4<<20, 16<<20)
 	threads := env.scale(1<<10, 32<<10, 64<<10, 128<<10)

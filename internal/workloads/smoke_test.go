@@ -31,6 +31,10 @@ func TestEveryWorkloadSmoke(t *testing.T) {
 		}
 	}
 
+	// The trace-ingestion path (DESIGN.md section 13) gets the same
+	// end-to-end treatment as the registered workloads.
+	names = append(names, workloads.TracePrefix+"testdata/wiki_requests.csv")
+
 	for _, name := range names {
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

@@ -12,6 +12,8 @@ import (
 // so centre features are gathered through an indirection. Data is
 // feature-major with warp-scattered point assignment (see scatter.go),
 // giving the large streaming footprint the paper reports.
+func init() { Register("streamcluster", buildStreamcluster) }
+
 func buildStreamcluster(env *Env) (*Workload, error) {
 	p := env.scale(4<<10, 256<<10, 1<<20, 4<<20)
 	f := env.scale(4, 4, 4, 8)

@@ -1,0 +1,203 @@
+package workloads
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"gpummu/internal/vm"
+)
+
+const (
+	sampleCSV   = "testdata/wiki_requests.csv"
+	sampleJSONL = "testdata/wiki_requests.jsonl"
+)
+
+func TestParseTraceCSV(t *testing.T) {
+	recs, err := parseTrace(sampleCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 40 {
+		t.Fatalf("parsed %d records, want the full sample", len(recs))
+	}
+	if recs[0].Key != "enwiki:page:Main_Page" || recs[0].Op != "set" || recs[0].Size != 4821 {
+		t.Fatalf("first record = %+v", recs[0])
+	}
+	sets, gets, dels := 0, 0, 0
+	for _, r := range recs {
+		switch r.Op {
+		case "set":
+			sets++
+		case "get":
+			gets++
+		case "delete":
+			dels++
+		default:
+			t.Fatalf("record with op %q", r.Op)
+		}
+	}
+	if sets == 0 || gets == 0 || dels == 0 {
+		t.Fatalf("sample trace lost an op class: sets=%d gets=%d dels=%d", sets, gets, dels)
+	}
+}
+
+func TestParseTraceJSONL(t *testing.T) {
+	recs, err := parseTrace(sampleJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 11 {
+		t.Fatalf("parsed %d records, want 11", len(recs))
+	}
+	if recs[4].Op != "get" { // op omitted defaults to get
+		t.Fatalf("defaulted op = %q", recs[4].Op)
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		path string
+		want string
+	}{
+		{write("empty.csv", "key,op,size\n"), "empty trace"},
+		{write("badop.csv", "a,frob,1\n"), "unknown op"},
+		{write("badsize.csv", "a,set,notanum\n"), "bad size"},
+		{write("nokey.csv", ",get,\n"), "empty key"},
+		{write("bad.jsonl", "{nope\n"), "line 1"},
+		{filepath.Join(dir, "missing.csv"), "no such file"},
+	}
+	for _, c := range cases {
+		if _, err := parseTrace(c.path); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("parseTrace(%s) err = %v, want %q", c.path, err, c.want)
+		}
+	}
+}
+
+// TestTraceWorkloadBuilds proves the trace: scheme produces a complete,
+// checkable workload: the population reflects sets minus deletes, and the
+// functional check verifies kernel output against the host-side table.
+func TestTraceWorkloadBuilds(t *testing.T) {
+	for _, path := range []string{sampleCSV, sampleJSONL} {
+		name := TracePrefix + path
+		w, err := Build(name, SizeTiny, vm.PageShift4K, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.Name != name {
+			t.Errorf("%s: workload named %q", path, w.Name)
+		}
+		if w.AS.MappedBytes() == 0 {
+			t.Errorf("%s: no memory mapped", path)
+		}
+		if w.Check == nil {
+			t.Errorf("%s: no functional check", path)
+		}
+	}
+}
+
+// TestTraceDeterministic pins the replay contract: the same trace builds
+// byte-identical request streams regardless of seed (the trace, not the
+// RNG, is the source of truth).
+func TestTraceDeterministic(t *testing.T) {
+	a, err := Build(TracePrefix+sampleCSV, SizeTiny, vm.PageShift4K, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(TracePrefix+sampleCSV, SizeTiny, vm.PageShift4K, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.AS.MappedBytes() != b.AS.MappedBytes() {
+		t.Fatalf("seed changed trace footprint: %d vs %d", a.AS.MappedBytes(), b.AS.MappedBytes())
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if err := Resolve("bfs"); err != nil {
+		t.Errorf("bfs: %v", err)
+	}
+	if err := Resolve(TracePrefix + sampleCSV); err != nil {
+		t.Errorf("trace sample: %v", err)
+	}
+	if err := Resolve(TracePrefix); err == nil {
+		t.Error("empty trace path resolved")
+	}
+	if err := Resolve(TracePrefix + "no/such/file.csv"); err == nil {
+		t.Error("missing trace file resolved")
+	}
+	err := Resolve("nope")
+	if err == nil {
+		t.Fatal("unknown workload resolved")
+	}
+	for _, n := range Names() {
+		if !strings.Contains(err.Error(), n) {
+			t.Errorf("unknown-workload error does not list %q: %v", n, err)
+		}
+	}
+	if !strings.Contains(err.Error(), TracePrefix) {
+		t.Errorf("unknown-workload error does not mention the trace scheme: %v", err)
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	for s, want := range map[string]Size{
+		"tiny": SizeTiny, "small": SizeSmall, "medium": SizeMedium, "large": SizeLarge,
+	} {
+		got, err := ParseSize(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSize("huge"); err == nil || !strings.Contains(err.Error(), "tiny") {
+		t.Errorf("ParseSize(huge) err = %v, want the valid sizes listed", err)
+	}
+}
+
+func TestRegisterGuards(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty name": func() { Register("", func(*Env) (*Workload, error) { return nil, nil }) },
+		"nil":        func() { Register("x", nil) },
+		"colon":      func() { Register("a:b", func(*Env) (*Workload, error) { return nil, nil }) },
+		"duplicate":  func() { Register("bfs", func(*Env) (*Workload, error) { return nil, nil }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register %s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestPaperSetStable pins the paper ordering the figures rely on and that
+// every paper workload is registered, sorted stably inside Names().
+func TestPaperSetStable(t *testing.T) {
+	want := []string{"bfs", "kmeans", "streamcluster", "mummergpu", "pathfinder", "memcached"}
+	got := PaperSet()
+	if len(got) != len(want) {
+		t.Fatalf("paper set = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("paper set order changed: %v", got)
+		}
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not in sorted order: %v", names)
+		}
+	}
+}

@@ -10,7 +10,9 @@ package workloads
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strings"
 
 	"gpummu/internal/engine"
 	"gpummu/internal/kernels"
@@ -57,8 +59,8 @@ type Workload struct {
 	Check func() error
 }
 
-// builder constructs one workload at a given scale.
-type builder func(env *Env) (*Workload, error)
+// Builder constructs one workload at a given scale.
+type Builder func(env *Env) (*Workload, error)
 
 // Env carries the common construction context.
 type Env struct {
@@ -84,18 +86,31 @@ func (e *Env) scale(tiny, small, medium, large int) int {
 	}
 }
 
-var registry = map[string]builder{
-	"bfs":           buildBFS,
-	"kmeans":        buildKMeans,
-	"streamcluster": buildStreamcluster,
-	"mummergpu":     buildMummer,
-	"pathfinder":    buildPathfinder,
-	"memcached":     buildMemcached,
-	"pointerchase":  buildPointerChase,
+// registry maps workload names to their constructors. Workload files
+// self-register from init; Register keeps it open for extension (trace
+// replays register dynamically, tests can inject synthetic workloads).
+var registry = map[string]Builder{}
+
+// Register adds a named workload constructor. Registering an empty name, a
+// nil builder, a name containing the trace scheme separator, or a duplicate
+// panics: registration happens at init time, where a bad entry is a
+// programming error, not a runtime condition.
+func Register(name string, b Builder) {
+	switch {
+	case name == "" || b == nil:
+		panic("workloads: Register needs a name and a builder")
+	case strings.Contains(name, ":"):
+		panic(fmt.Sprintf("workloads: name %q: colons are reserved for the trace: scheme", name))
+	case registry[name] != nil:
+		panic(fmt.Sprintf("workloads: %q registered twice", name))
+	}
+	registry[name] = b
 }
 
-// Names returns the registered workload names, sorted. The first six are
-// the paper's evaluation set; pointerchase is an extra microbenchmark.
+// Names returns the registered workload names, sorted. The paper's six
+// evaluation workloads are always among them; pointerchase is an extra
+// microbenchmark. Trace replays (see TracePrefix) are named by their file
+// and therefore not listed.
 func Names() []string {
 	out := make([]string, 0, len(registry))
 	for n := range registry {
@@ -111,12 +126,73 @@ func PaperSet() []string {
 	return []string{"bfs", "kmeans", "streamcluster", "mummergpu", "pathfinder", "memcached"}
 }
 
-// Build constructs the named workload at the given scale and page size.
-// Each workload gets its own simulated physical memory and page table.
-func Build(name string, size Size, pageShift uint, seed uint64) (*Workload, error) {
+// ParseSize parses a dataset-scale name ("tiny", "small", "medium",
+// "large"), the single spelling the CLIs and campaign files share.
+func ParseSize(s string) (Size, error) {
+	switch s {
+	case "tiny":
+		return SizeTiny, nil
+	case "small":
+		return SizeSmall, nil
+	case "medium":
+		return SizeMedium, nil
+	case "large":
+		return SizeLarge, nil
+	}
+	return 0, fmt.Errorf("workloads: unknown size %q (have tiny, small, medium, large)", s)
+}
+
+// errUnknown builds the canonical unknown-workload error, listing every
+// valid name so CLIs and campaign validation report the same message.
+func errUnknown(name string) error {
+	return fmt.Errorf("workloads: unknown workload %q (have %v, or %s<file.csv|file.jsonl>)",
+		name, Names(), TracePrefix)
+}
+
+// Resolve checks that name denotes a buildable workload without building
+// it: a registered name, or a trace: reference whose file exists. CLIs call
+// it up front so a typo fails before any simulation runs.
+func Resolve(name string) error {
+	if path, ok := strings.CutPrefix(name, TracePrefix); ok {
+		if path == "" {
+			return fmt.Errorf("workloads: %q: empty trace path", name)
+		}
+		if _, err := os.Stat(path); err != nil {
+			return fmt.Errorf("workloads: %s: %w", name, err)
+		}
+		return nil
+	}
+	if _, ok := registry[name]; !ok {
+		return errUnknown(name)
+	}
+	return nil
+}
+
+// lookup resolves a name to its builder, dispatching trace: references to
+// the trace-ingestion builder.
+func lookup(name string) (Builder, error) {
+	if path, ok := strings.CutPrefix(name, TracePrefix); ok {
+		if path == "" {
+			return nil, fmt.Errorf("workloads: %q: empty trace path", name)
+		}
+		return buildTraceFile(path), nil
+	}
 	b, ok := registry[name]
 	if !ok {
-		return nil, fmt.Errorf("workloads: unknown workload %q (have %v)", name, Names())
+		return nil, errUnknown(name)
+	}
+	return b, nil
+}
+
+// Build constructs the named workload at the given scale and page size.
+// Each workload gets its own simulated physical memory and page table.
+// Besides registered names, Build accepts "trace:<path>" references, which
+// replay a CSV/JSONL request trace through the key-value probe kernel (see
+// trace.go).
+func Build(name string, size Size, pageShift uint, seed uint64) (*Workload, error) {
+	b, err := lookup(name)
+	if err != nil {
+		return nil, err
 	}
 	pm := vm.NewPhysMem()
 	// 1<<23 frames = 32 GB of physical address space; backing is sparse.

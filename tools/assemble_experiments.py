@@ -1,6 +1,11 @@
 # Assembles EXPERIMENTS.md from the harness output plus per-figure
 # paper-vs-measured verdicts. Usage:
-#   python3 tools/assemble_experiments.py experiments_small.out >> EXPERIMENTS.md
+#   python3 tools/assemble_experiments.py [raw-harness-output] >> EXPERIMENTS.md
+# With no argument it reads the committed raw report,
+# tools/data/experiments_small.raw.txt (regenerate with
+# `experiments -fig all -size small -v > tools/data/experiments_small.raw.txt`
+# or `experiments -campaign examples/campaigns/paper-sweep.yaml`).
+import os
 import re
 import sys
 
@@ -102,7 +107,9 @@ remaining overhead on walk-heavy workloads; software-managed walks are
 uniformly disastrous, confirming the paper's section 6.1 rejection.""",
 }
 
-text = open(sys.argv[1]).read()
+DEFAULT_RAW = os.path.join(os.path.dirname(__file__), "data", "experiments_small.raw.txt")
+
+text = open(sys.argv[1] if len(sys.argv) > 1 else DEFAULT_RAW).read()
 # Drop verbose per-run lines.
 text = re.sub(r"(?m)^# ran .*\n", "", text)
 # Insert verdicts after each figure's table (before the next ## or EOF).

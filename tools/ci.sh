@@ -56,6 +56,28 @@ echo "== zero-alloc warm path with observability off"
 go test -run 'TestExecMemSteadyStateAllocFree' ./internal/gpu
 go test -run 'TestWalkAllocFree|TestTranslatorHitAllocFree' ./internal/vm
 
+# Campaign gates (DESIGN.md section 13). Every committed example campaign
+# must validate; the campaign-driven figure-2 report must be byte-identical
+# to the flag-driven invocation it replaces (for any -j/-par); and the
+# committed sample request trace must replay end to end with its
+# functional check passing.
+echo "== campaign gates (validate examples; campaign == flags; trace replay)"
+go build -o "$obs_tmp/experiments" ./cmd/experiments
+go build -o "$obs_tmp/gpusim" ./cmd/gpusim
+for f in examples/campaigns/*; do
+	"$obs_tmp/experiments" -campaign "$f" -validate >/dev/null
+done
+"$obs_tmp/experiments" -fig 2 -size tiny -machine small >"$obs_tmp/fig2.flags.txt"
+"$obs_tmp/experiments" -campaign examples/campaigns/fig2-tiny.yaml -j 3 -par 2 >"$obs_tmp/fig2.campaign.txt"
+if ! cmp -s "$obs_tmp/fig2.flags.txt" "$obs_tmp/fig2.campaign.txt"; then
+	echo "ci: FAIL campaign-driven fig2 report differs from the flag-driven report" >&2
+	exit 1
+fi
+if ! "$obs_tmp/gpusim" -campaign examples/campaigns/trace-replay.yaml | grep -q '^functional check: ok'; then
+	echo "ci: FAIL trace-replay campaign functional check" >&2
+	exit 1
+fi
+
 # Differential fuzzing smoke (DESIGN.md section 12): each target explores
 # beyond the committed seed corpus for a short budget. Failures minimise to
 # a replayable snippet — see cmd/difftest for longer soaks.
