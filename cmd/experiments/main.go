@@ -55,6 +55,7 @@ func main() {
 		verbose  = flag.Bool("v", false, "log every simulation run to stderr")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		par      = flag.Int("par", 1, "goroutines ticking cores inside each simulation (output is identical for any value)")
+		checkpt  = flag.Bool("checkpoint", false, "warm-start runs from per-workload post-build snapshots (output is identical either way)")
 		machine  = flag.String("machine", "baseline", "machine preset: baseline|small")
 		coresOvr = flag.Int("cores", 0, "override shader core count (0 = preset)")
 		sample   = flag.Uint64("sample", 0, "record a time-series sample every N cycles in every run")
@@ -118,6 +119,13 @@ func main() {
 	parV := *par
 	if camp != nil && !isSet["par"] {
 		parV = camp.Run.Par
+	}
+	if maxp := runtime.GOMAXPROCS(0); parV > maxp {
+		fatal("-par %d exceeds GOMAXPROCS(0)=%d: extra core-ticking workers cannot run in parallel and the phase barriers make the run slower, not faster (README %q); use -par <= %d or raise GOMAXPROCS", parV, maxp, "Parallel core ticking", maxp)
+	}
+	checkptV := *checkpt
+	if camp != nil && !isSet["checkpoint"] {
+		checkptV = camp.Run.Checkpoint
 	}
 
 	// -machine replaces the campaign's whole machine block (preset and
@@ -203,6 +211,7 @@ func main() {
 		Verbose:     *verbose,
 		CoreWorkers: parV,
 		Obs:         ob,
+		Checkpoint:  checkptV,
 	}
 
 	var figs []experiments.Figure

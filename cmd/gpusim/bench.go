@@ -1,0 +1,245 @@
+// Benchmark modes: -benchscaling records a per-worker (-par) scaling
+// curve for one workload, and -benchcheckpoint records the wall-clock
+// delta of checkpointed warm starts versus cold rebuilds over a
+// multi-config sweep sharing one workload. Both emit a single JSON object
+// on stdout, stamped with host CPU count, GOMAXPROCS, and the git SHA
+// handed in via -benchlabel, so appended BENCH records are attributable
+// to a machine and commit (tools/bench.sh does the appending; schemas in
+// EXPERIMENTS.md).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"gpummu/internal/config"
+	"gpummu/internal/gpu"
+	"gpummu/internal/snapshot"
+	"gpummu/internal/stats"
+	"gpummu/internal/workloads"
+)
+
+// benchMeta is the host/commit attribution common to both bench records.
+type benchMeta struct {
+	Kind       string `json:"kind"`
+	Workload   string `json:"workload"`
+	Size       string `json:"size"`
+	Date       string `json:"date"`
+	HostCPUs   int    `json:"host_cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GitSHA     string `json:"git_sha"`
+}
+
+func newBenchMeta(kind, workload, size, label string) benchMeta {
+	if label == "" {
+		label = "unknown"
+	}
+	return benchMeta{
+		Kind:       kind,
+		Workload:   workload,
+		Size:       size,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		HostCPUs:   runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     label,
+	}
+}
+
+// scalingPoint is one -par measurement of the scaling curve.
+type scalingPoint struct {
+	Par            int     `json:"par"`
+	Seconds        float64 `json:"seconds"`
+	SimCycles      uint64  `json:"sim_cycles"`
+	CyclesPerSec   float64 `json:"cycles_per_sec"`
+	SpeedupVsPar1  float64 `json:"speedup_vs_par1"`
+	Oversubscribed bool    `json:"oversubscribed"` // par > GOMAXPROCS: expect a slowdown, not a speedup
+}
+
+type scalingRecord struct {
+	benchMeta
+	Points []scalingPoint `json:"points"`
+}
+
+// runBenchScaling measures one workload under the same configuration at
+// each -par worker count and emits the curve as JSON. The workload is
+// built once and checkpoint-restored between points (the restore is part
+// of what this PR ships; byte-identical cycles across points double as
+// the production equivalence check). Points beyond GOMAXPROCS are still
+// measured — on a 1-CPU host the curve honestly records the slowdown the
+// -par fail-fast otherwise prevents — but are flagged oversubscribed.
+func runBenchScaling(cfg config.Hardware, name, sizeName string, sz workloads.Size, seed uint64, pars []int, label string) error {
+	w, err := workloads.Build(name, sz, cfg.PageShift, seed)
+	if err != nil {
+		return err
+	}
+	img := snapshot.Capture(w.AS)
+
+	rec := scalingRecord{benchMeta: newBenchMeta("scaling", name, sizeName, label)}
+	var baseCycles uint64
+	var baseSecs float64
+	for i, par := range pars {
+		img.Restore(w.AS)
+		st := &stats.Sim{}
+		g, err := gpu.New(cfg, w.AS, st)
+		if err != nil {
+			return err
+		}
+		g.Workers = par
+		start := time.Now()
+		cycles, err := g.Run(w.Launch)
+		secs := time.Since(start).Seconds()
+		if err != nil {
+			return fmt.Errorf("par=%d: %w", par, err)
+		}
+		if w.Check != nil {
+			if err := w.Check(); err != nil {
+				return fmt.Errorf("par=%d: functional check: %w", par, err)
+			}
+		}
+		if i == 0 {
+			baseCycles, baseSecs = cycles, secs
+		} else if cycles != baseCycles {
+			return fmt.Errorf("par=%d simulated %d cycles, par=%d simulated %d: parallel ticking must be byte-identical", par, cycles, pars[0], baseCycles)
+		}
+		rec.Points = append(rec.Points, scalingPoint{
+			Par:            par,
+			Seconds:        secs,
+			SimCycles:      cycles,
+			CyclesPerSec:   float64(cycles) / secs,
+			SpeedupVsPar1:  baseSecs / secs,
+			Oversubscribed: par > runtime.GOMAXPROCS(0),
+		})
+		fmt.Fprintf(os.Stderr, "# benchscaling par=%d: %.3fs, %d cycles\n", par, secs, cycles)
+	}
+	return writeBenchJSON(rec)
+}
+
+type checkpointRecord struct {
+	benchMeta
+	Configs      int     `json:"configs"` // sweep points sharing the workload
+	ColdSeconds  float64 `json:"cold_seconds"`
+	WarmSeconds  float64 `json:"warm_seconds"`
+	Speedup      float64 `json:"speedup"`
+	WarmBuilds   int     `json:"warm_builds"`   // cold builds the pool still had to do (first acquisition)
+	WarmRestores int     `json:"warm_restores"` // acquisitions served by snapshot restore
+}
+
+// sweepConfigs derives n hardware points that share the workload build
+// (PageShift untouched) while varying the MMU design point — the shape of
+// the paper's figure sweeps. Entries double per point from 16 and the
+// augmented features toggle, so no two points dedupe to one key.
+func sweepConfigs(base config.Hardware, n int) []config.Hardware {
+	out := make([]config.Hardware, 0, n)
+	for i := 0; i < n; i++ {
+		c := base
+		c.MMU = config.AugmentedMMU()
+		c.MMU.Entries = 16 << (i % 6)
+		c.MMU.CacheOverlap = i%2 == 0
+		c.MMU.PTWSched = i%3 != 0
+		out = append(out, c)
+	}
+	return out
+}
+
+// runBenchCheckpoint measures a multi-config sweep sharing one workload
+// twice — cold (every run rebuilds the workload from scratch) and warm
+// (runs restore from one checkpoint via snapshot.Pool) — verifies the two
+// phases simulate identical cycle counts per config, and emits the delta
+// as JSON. This is the record the >= 1.3x acceptance gate reads.
+func runBenchCheckpoint(cfg config.Hardware, name, sizeName string, sz workloads.Size, seed uint64, nConfigs int, label string) error {
+	cfgs := sweepConfigs(cfg, nConfigs)
+
+	runOne := func(c config.Hardware, w *workloads.Workload) (uint64, error) {
+		st := &stats.Sim{}
+		g, err := gpu.New(c, w.AS, st)
+		if err != nil {
+			return 0, err
+		}
+		cycles, err := g.Run(w.Launch)
+		if err != nil {
+			return 0, err
+		}
+		if w.Check != nil {
+			if err := w.Check(); err != nil {
+				return 0, fmt.Errorf("functional check: %w", err)
+			}
+		}
+		return cycles, nil
+	}
+
+	coldCycles := make([]uint64, len(cfgs))
+	coldStart := time.Now()
+	for i, c := range cfgs {
+		w, err := workloads.Build(name, sz, c.PageShift, seed)
+		if err != nil {
+			return err
+		}
+		if coldCycles[i], err = runOne(c, w); err != nil {
+			return fmt.Errorf("cold config %d: %w", i, err)
+		}
+	}
+	coldSecs := time.Since(coldStart).Seconds()
+
+	pool := snapshot.NewPool()
+	warmStart := time.Now()
+	for i, c := range cfgs {
+		w, release, err := pool.Acquire(name, sz, c.PageShift, seed)
+		if err != nil {
+			return err
+		}
+		cycles, err := runOne(c, w)
+		release()
+		if err != nil {
+			return fmt.Errorf("warm config %d: %w", i, err)
+		}
+		if cycles != coldCycles[i] {
+			return fmt.Errorf("config %d: warm run simulated %d cycles, cold %d: checkpoint restore must be byte-identical", i, cycles, coldCycles[i])
+		}
+	}
+	warmSecs := time.Since(warmStart).Seconds()
+
+	ps := pool.Stats()
+	rec := checkpointRecord{
+		benchMeta:    newBenchMeta("checkpoint", name, sizeName, label),
+		Configs:      len(cfgs),
+		ColdSeconds:  coldSecs,
+		WarmSeconds:  warmSecs,
+		Speedup:      coldSecs / warmSecs,
+		WarmBuilds:   ps.Builds,
+		WarmRestores: ps.Restores,
+	}
+	fmt.Fprintf(os.Stderr, "# benchcheckpoint %d configs: cold %.3fs, warm %.3fs (%.2fx, %d builds + %d restores)\n",
+		rec.Configs, coldSecs, warmSecs, rec.Speedup, ps.Builds, ps.Restores)
+	return writeBenchJSON(rec)
+}
+
+// parseParList parses the -benchpars comma list into worker counts.
+func parseParList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("%q: must be a positive integer", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func writeBenchJSON(rec interface{}) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rec)
+}

@@ -61,6 +61,10 @@ func main() {
 		cores    = flag.Int("cores", 0, "override core count (0 = 30)")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel workers when running several workloads")
 		par      = flag.Int("par", 1, "goroutines ticking cores inside one simulation (output is identical for any value)")
+		benchSc  = flag.Bool("benchscaling", false, "measure the -par scaling curve for one workload; emits a JSON record on stdout")
+		benchCk  = flag.Int("benchcheckpoint", 0, "measure checkpoint warm-start vs cold rebuild over N sweep configs sharing one workload; emits a JSON record on stdout")
+		benchPar = flag.String("benchpars", "1,2,4,8", "comma list of -par points measured by -benchscaling")
+		benchLbl = flag.String("benchlabel", "", "commit label stamped into bench records (tools/bench.sh passes the git SHA)")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		asJSON   = flag.Bool("json", false, "emit statistics as JSON")
 		events   = flag.Int("events", 0, "dump the last N simulation events to stderr (single workload only)")
@@ -238,6 +242,14 @@ func main() {
 	if camp != nil && !isSet["par"] {
 		*par = camp.Run.Par
 	}
+	// Extra -par workers beyond GOMAXPROCS cannot run in parallel, and the
+	// two-phase barriers make the run strictly slower, so reject the silent
+	// slowdown up front. -benchscaling is exempt: measuring the oversubscribed
+	// points (flagged in its record) is the point of the mode.
+	benchMode := *benchSc || *benchCk > 0
+	if maxp := runtime.GOMAXPROCS(0); !benchMode && *par > maxp {
+		fatal("-par %d exceeds GOMAXPROCS(0)=%d: extra core-ticking workers cannot run in parallel and the phase barriers make the run slower, not faster (README %q); use -par <= %d or raise GOMAXPROCS", *par, maxp, "Parallel core ticking", maxp)
+	}
 	if camp != nil && !isSet["j"] && camp.Run.Workers > 0 {
 		*workers = camp.Run.Workers
 	}
@@ -288,6 +300,29 @@ func main() {
 	}
 	if *events > 0 && *trace != "" {
 		fatal("-events and -trace both claim the tracer; choose one")
+	}
+
+	if benchMode {
+		if *benchSc && *benchCk > 0 {
+			fatal("-benchscaling and -benchcheckpoint are separate modes; choose one")
+		}
+		if len(names) != 1 {
+			fatal("bench modes need a single workload (got %d)", len(names))
+		}
+		var err error
+		if *benchSc {
+			pars, perr := parseParList(*benchPar)
+			if perr != nil {
+				fatal("-benchpars: %v", perr)
+			}
+			err = runBenchScaling(cfg, names[0], *size, sz, *seed, pars, *benchLbl)
+		} else {
+			err = runBenchCheckpoint(cfg, names[0], *size, sz, *seed, *benchCk, *benchLbl)
+		}
+		if err != nil {
+			fatal("%v", err)
+		}
+		return
 	}
 
 	// The deadline covers the whole command, so anchor it before fan-out.

@@ -122,6 +122,11 @@ type RunOptions struct {
 	// Par is -par: goroutines ticking cores inside one simulation.
 	// Default 1; output is byte-identical for any value.
 	Par int
+	// Checkpoint enables checkpointed warm starts: sweep points sharing a
+	// workload restore from one post-build snapshot instead of rebuilding
+	// (experiments.Executor.Checkpoint). Reports are byte-identical either
+	// way; default false.
+	Checkpoint bool
 }
 
 // Obs mirrors experiments.ObsOptions with a relative deadline.

@@ -189,7 +189,7 @@ func decodeAxes(l []node, out *Sweep) error {
 	return nil
 }
 
-// decodeRun fills {workers, par}.
+// decodeRun fills {workers, par, checkpoint}.
 func decodeRun(n node, out *RunOptions) error {
 	if n == nil {
 		return nil
@@ -198,13 +198,16 @@ func decodeRun(n node, out *RunOptions) error {
 	if err != nil {
 		return err
 	}
-	if err := checkKeys(m, "run.", "workers", "par"); err != nil {
+	if err := checkKeys(m, "run.", "workers", "par", "checkpoint"); err != nil {
 		return err
 	}
 	if out.Workers, err = optInt(m, "workers", "run."); err != nil {
 		return err
 	}
 	if out.Par, err = optInt(m, "par", "run."); err != nil {
+		return err
+	}
+	if out.Checkpoint, err = optBool(m, "checkpoint", "run."); err != nil {
 		return err
 	}
 	return nil
@@ -334,6 +337,14 @@ func optStr(m map[string]node, key, prefix string) (string, error) {
 		return "", nil
 	}
 	return wantStr(v, prefix+key)
+}
+
+func optBool(m map[string]node, key, prefix string) (bool, error) {
+	v, ok := m[key]
+	if !ok {
+		return false, nil
+	}
+	return wantBool(v, prefix+key)
 }
 
 func optInt(m map[string]node, key, prefix string) (int, error) {

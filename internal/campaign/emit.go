@@ -91,6 +91,7 @@ func (c *Campaign) Emit() []byte {
 	w("run:\n")
 	w("  workers: %d\n", c.Run.Workers)
 	w("  par: %d\n", c.Run.Par)
+	w("  checkpoint: %v\n", c.Run.Checkpoint)
 
 	w("obs:\n")
 	w("  sampleEvery: %d\n", c.Obs.SampleEvery)

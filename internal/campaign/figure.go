@@ -30,6 +30,7 @@ func (c *Campaign) HarnessOptions() (experiments.Options, error) {
 		Workload:    append([]string(nil), c.Workloads.Names...),
 		Workers:     c.Run.Workers,
 		CoreWorkers: c.Run.Par,
+		Checkpoint:  c.Run.Checkpoint,
 		Obs: experiments.ObsOptions{
 			SampleEvery: c.Obs.SampleEvery,
 			SampleDir:   c.Obs.SampleDir,

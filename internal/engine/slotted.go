@@ -77,6 +77,18 @@ func (s *SlottedResource) Acquire(start Cycle, busy int) Cycle {
 	return begin
 }
 
+// Reset clears all reservations and the prune floor, returning the
+// resource to its freshly constructed state. Warm-start paths that rerun a
+// kernel from cycle 0 on an already-built structure must call this: after
+// PruneBefore the floor clamps every Acquire at or above it, so a stale
+// floor from a previous run would silently push early requests into the
+// future instead of reproducing the cold run's timeline.
+func (s *SlottedResource) Reset() {
+	s.used = s.used[:0]
+	s.base = 0
+	s.floor = 0
+}
+
 // PruneBefore drops bookkeeping for windows wholly before cycle c. Callers
 // guarantee no future Acquire will target a pruned window (the simulator's
 // clock is monotonic and requests never start in the past).

@@ -94,3 +94,27 @@ func TestSlottedConservationQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestSlottedResetReturnsToFreshState: after arbitrary traffic and a
+// PruneBefore (which installs a floor that clamps all later Acquires),
+// Reset must make the resource grant exactly what a new one would.
+func TestSlottedResetReturnsToFreshState(t *testing.T) {
+	r := NewSlottedResource(2, 16)
+	for i := 0; i < 50; i++ {
+		r.Acquire(Cycle(i*3), 5)
+	}
+	r.PruneBefore(1000)
+	// The floor is tracked at window granularity: 1000/16 = window 62,
+	// whose first cycle is 992.
+	if got := r.Acquire(0, 1); got < 992 {
+		t.Fatalf("floor not installed: Acquire(0) began at %d", got)
+	}
+
+	r.Reset()
+	fresh := NewSlottedResource(2, 16)
+	for i := 0; i < 50; i++ {
+		if got, want := r.Acquire(Cycle(i), 3), fresh.Acquire(Cycle(i), 3); got != want {
+			t.Fatalf("req %d: reset resource granted %d, fresh granted %d", i, got, want)
+		}
+	}
+}

@@ -38,6 +38,11 @@ type Options struct {
 	// budget, deadline) to every simulation the harness executes. The
 	// zero value keeps runs unobserved.
 	Obs ObsOptions
+
+	// Checkpoint enables checkpointed warm starts (Executor.Checkpoint):
+	// all runs sharing a workload restore from one post-build snapshot
+	// instead of rebuilding. Reports are byte-identical either way.
+	Checkpoint bool
 }
 
 func (o *Options) fill() {
@@ -82,6 +87,7 @@ func New(out io.Writer, opt Options) *Harness {
 			Store:       NewResultStore(),
 			CoreWorkers: opt.CoreWorkers,
 			Obs:         opt.Obs,
+			Checkpoint:  opt.Checkpoint,
 		},
 	}
 }
@@ -105,7 +111,7 @@ func (h *Harness) Run(w string, cfg config.Hardware) (*stats.Sim, error) {
 	spec := h.Spec(w, cfg)
 	res, ok := h.exec.store().Get(spec)
 	if !ok {
-		h.exec.store().Put(ExecuteObs(spec, h.opt.Size, h.opt.Seed, h.opt.CoreWorkers, h.opt.Obs))
+		h.exec.store().Put(ExecuteCk(spec, h.opt.Size, h.opt.Seed, h.opt.CoreWorkers, h.opt.Obs, h.exec.checkpointPool()))
 		// Re-read so concurrent callers converge on the canonical
 		// first-published result.
 		res, _ = h.exec.store().Get(spec)

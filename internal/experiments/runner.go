@@ -30,6 +30,7 @@ import (
 	"gpummu/internal/config"
 	"gpummu/internal/gpu"
 	"gpummu/internal/obs"
+	"gpummu/internal/snapshot"
 	"gpummu/internal/stats"
 	"gpummu/internal/workloads"
 )
@@ -173,8 +174,41 @@ type Executor struct {
 	// Obs attaches samplers, watchdogs and cycle budgets to every run.
 	Obs ObsOptions
 
+	// Checkpoint enables checkpointed warm starts: runs acquire their
+	// workload from a snapshot.Pool keyed by build identity (workload,
+	// size, page shift, seed) — the axes a hardware sweep holds fixed
+	// while Hardware.Key() varies — so the N configs sharing one workload
+	// restore a pristine image instead of rebuilding it N times. Output is
+	// byte-identical to cold builds (DESIGN.md §14); the toggle exists so
+	// sweeps can verify that cheaply (tools/ci.sh checkpoint gate).
+	Checkpoint bool
+
 	mu   sync.Mutex // serialises Progress so lines never interleave
 	done int        // completed runs, for progress numbering
+	pool *snapshot.Pool
+}
+
+// checkpointPool returns the executor's snapshot pool, creating it on
+// first use. Safe for concurrent callers (Harness.Run's inline fallback).
+func (e *Executor) checkpointPool() *snapshot.Pool {
+	if !e.Checkpoint {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.pool == nil {
+		e.pool = snapshot.NewPool()
+	}
+	return e.pool
+}
+
+// CheckpointStats reports snapshot-pool activity (builds vs warm
+// restores); zero when checkpointing is off or nothing ran yet.
+func (e *Executor) CheckpointStats() snapshot.Stats {
+	if e.pool == nil {
+		return snapshot.Stats{}
+	}
+	return e.pool.Stats()
 }
 
 // workers resolves the effective pool size.
@@ -214,6 +248,7 @@ func (e *Executor) Execute(p *Plan) int {
 	if nw > len(todo) {
 		nw = len(todo)
 	}
+	pool := e.checkpointPool()
 	jobs := make(chan RunSpec)
 	var wg sync.WaitGroup
 	for i := 0; i < nw; i++ {
@@ -221,7 +256,7 @@ func (e *Executor) Execute(p *Plan) int {
 		go func() {
 			defer wg.Done()
 			for spec := range jobs {
-				res := ExecuteObs(spec, e.Size, e.Seed, e.CoreWorkers, e.Obs)
+				res := ExecuteCk(spec, e.Size, e.Seed, e.CoreWorkers, e.Obs, pool)
 				st.Put(res)
 				e.logProgress(res, len(todo))
 			}
@@ -265,11 +300,30 @@ func ExecuteOne(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int)
 // cycle budget, and a wall-clock deadline. With the zero ObsOptions it is
 // identical to ExecuteOne.
 func ExecuteObs(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int, ob ObsOptions) *RunResult {
+	return ExecuteCk(spec, size, seed, coreWorkers, ob, nil)
+}
+
+// ExecuteCk is ExecuteObs with checkpointed warm starts: when pool is
+// non-nil the workload is acquired from it — restored from a pristine
+// post-build snapshot when an instance exists, built cold (and
+// checkpointed) otherwise — and returned to the pool once the run and its
+// functional check finish. A nil pool builds cold, exactly as before.
+func ExecuteCk(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int, ob ObsOptions, pool *snapshot.Pool) *RunResult {
 	res := &RunResult{Spec: spec}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
 
-	wl, err := workloads.Build(spec.Workload, size, spec.Config.PageShift, seed)
+	var wl *workloads.Workload
+	var err error
+	if pool != nil {
+		var release func()
+		wl, release, err = pool.Acquire(spec.Workload, size, spec.Config.PageShift, seed)
+		if release != nil {
+			defer release()
+		}
+	} else {
+		wl, err = workloads.Build(spec.Workload, size, spec.Config.PageShift, seed)
+	}
 	if err != nil {
 		res.Err = err
 		return res

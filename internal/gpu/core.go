@@ -252,14 +252,29 @@ func (c *Core) tick(now engine.Cycle) (issuedAny bool, next engine.Cycle) {
 // flushing. Everything it touches is either shared (mem.System, shared TLB,
 // functional memory, block dispatch counters, the tracer) or owned by this
 // core; it never reads another core's private state.
+//
+// The composition runs the same per-subsystem batches GPU.Run's commit
+// phase applies across all cores (DESIGN.md §14); for a single core the
+// operation sequence is identical either way, which is what keeps the
+// serial tick() path and unit tests equivalent to the run loop.
 func (c *Core) commit(now engine.Cycle) {
 	c.g.commitCycle = now
-	c.commitMem(now)
+	c.commitFunc()
+	c.commitTranslate()
+	c.commitData()
+	c.commitRetire()
+	c.flushEvents()
+}
+
+// commitRetire runs the block retirement a compute-phase execExit deferred
+// — the dispatch-counter batch of the commit phase. Retirement backfills
+// fresh blocks from the grid, so it mutates the shared dispatch cursor
+// (nextBlock/liveBlocks) and must stay in canonical core order.
+func (c *Core) commitRetire() {
 	if b := c.pendRetire; b != nil {
 		c.pendRetire = nil
 		b.maybeRetire()
 	}
-	c.flushEvents()
 }
 
 // phaseCompute runs one core's share of a simulation cycle up to the point

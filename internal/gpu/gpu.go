@@ -246,10 +246,40 @@ func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 				c.phaseCompute(now)
 			}
 		}
-		// Commit phase: buffered shared-state work, canonical core order.
+		// Commit phase: buffered shared-state work replayed in grouped
+		// batches per subsystem — functional memory, translation (shared
+		// TLB + walkers), the data path (icnt/L2/DRAM), block retirement,
+		// trace flush — each batch in ascending core-id order. Grouping
+		// keeps one subsystem's working set hot across all cores instead of
+		// cycling every subsystem per core; the commit order is a pure
+		// function of core ids, so output stays byte-identical for any
+		// Workers count (ordering argument in DESIGN.md §14).
+		g.commitCycle = now
 		for _, c := range g.cores {
 			if c.tkKind == tkTicked {
-				c.commit(now)
+				c.commitFunc()
+			}
+		}
+		for _, c := range g.cores {
+			if c.tkKind == tkTicked {
+				c.commitTranslate()
+			}
+		}
+		for _, c := range g.cores {
+			if c.tkKind == tkTicked {
+				c.commitData()
+			}
+		}
+		for _, c := range g.cores {
+			if c.tkKind == tkTicked {
+				c.commitRetire()
+			}
+		}
+		if g.tracer != nil {
+			for _, c := range g.cores {
+				if c.tkKind == tkTicked {
+					c.flushEvents()
+				}
 			}
 		}
 		// Sampling happens after commits: every core's cycle-now state is

@@ -59,16 +59,23 @@ type pendMem struct {
 	at      engine.Cycle // issue cycle
 	ls      core.LookupState
 	done    engine.Cycle // all-hit path: max completion over compute-resolved lines
+	// maxReady carries the slowest walk completion from the translate batch
+	// to the data batch on the suspended path (commitTranslate computes it,
+	// commitData's L1 line loop consumes it).
+	maxReady engine.Cycle
 }
 
 // execMem executes one warp-level memory instruction start to finish: the
 // core-private compute half immediately followed by the shared-state commit
-// half. Unit tests drive it directly; the run loop instead calls
-// execMemCompute from the (possibly parallel) compute phase and commitMem
-// from the core's serial commit turn.
+// batches. Unit tests drive it directly; the run loop instead calls
+// execMemCompute from the (possibly parallel) compute phase and the commit
+// batches from the serial commit phase, grouped per subsystem across cores
+// (DESIGN.md §14).
 func (c *Core) execMem(now engine.Cycle, w *Warp, in *kernels.Instr) {
 	c.execMemCompute(now, w, in)
-	c.commitMem(now)
+	c.commitFunc()
+	c.commitTranslate()
+	c.commitData()
 }
 
 // execMemCompute is the core-private half of one warp-level memory
@@ -174,26 +181,77 @@ func (c *Core) execMemCompute(now engine.Cycle, w *Warp, in *kernels.Instr) {
 	p.done = done
 }
 
-// commitMem applies the shared-state remainder of the cycle's memory
-// instruction: functional accesses first (matching their serial position
-// during coalescing), then whichever timing suspension point compute left.
-func (c *Core) commitMem(now engine.Cycle) {
+// commitFunc replays the cycle's buffered functional accesses against the
+// shared heap — the physical-memory batch of the commit phase. Replay order
+// inside a core matches the lanes' serial position during coalescing;
+// across cores the batch runs in ascending core-id order.
+func (c *Core) commitFunc() {
 	sc := &c.scratch
-	p := &c.pend
-	if len(sc.accs) > 0 {
-		isStore := p.in.Kind == kernels.KindStore
-		for i := range sc.accs {
-			a := &sc.accs[i]
-			c.funcAccess(a.t, a.va, p.in, isStore)
-		}
-		sc.accs = sc.accs[:0]
+	if len(sc.accs) == 0 {
+		return
 	}
+	in := c.pend.in
+	isStore := in.Kind == kernels.KindStore
+	for i := range sc.accs {
+		a := &sc.accs[i]
+		c.funcAccess(a.t, a.va, in, isStore)
+	}
+	sc.accs = sc.accs[:0]
+}
+
+// commitTranslate finishes a translation that suspended at its first TLB
+// miss — the shared-TLB/walker batch of the commit phase. It runs the
+// remaining lookups (whose miss paths walk through the shared memory
+// system) and the per-result scheduler hooks, and records the slowest walk
+// completion for commitData's L1 line loop. Cores whose translation fully
+// resolved during compute (every page hit) have nothing to do here.
+func (c *Core) commitTranslate() {
+	p := &c.pend
+	if !p.active || p.tlbDone {
+		return
+	}
+	sc := &c.scratch
+	w := p.w
+	at := p.at
+	b := w.block
+	c.mmu.LookupCommit(at, sc.reqs, sc.results, p.ls)
+	results := sc.results
+	maxReady := engine.Cycle(0)
+	for i := range results {
+		r := &results[i]
+		if r.ReadyAt > maxReady {
+			maxReady = r.ReadyAt
+		}
+		if r.Hit {
+			c.sched.onTLBHit(w.slot, r.LRUDepth)
+		} else {
+			c.sched.onTLBMiss(w.slot, r.VPN)
+			if c.g.tracer != nil {
+				c.emit(Event{Cycle: at, Kind: EvTLBMiss, Core: int16(c.id),
+					Block: int32(b.id), Warp: int16(w.slot), A: r.VPN, B: uint64(r.ReadyAt)})
+				c.emit(Event{Cycle: r.ReadyAt, Kind: EvWalkDone, Core: int16(c.id),
+					Block: int32(b.id), Warp: int16(w.slot), A: r.VPN, B: uint64(r.ReadyAt - at)})
+			}
+		}
+	}
+	p.maxReady = maxReady
+}
+
+// commitData applies the data-path remainder of the cycle's memory
+// instruction — the icnt/L2/DRAM batch of the commit phase — and retires
+// the instruction (warp ready time, PC advance). On the all-TLB-hit path
+// only the deferred L1 misses' memory-system accesses remain; on the
+// suspended path the whole L1 line loop runs here, its start times coming
+// from commitTranslate's maxReady.
+func (c *Core) commitData() {
+	p := &c.pend
 	if !p.active {
 		return
 	}
 	p.active = false
 	w := p.w
 	st := c.st
+	sc := &c.scratch
 
 	if p.tlbDone {
 		// Only the L1 misses' memory-system accesses remain. A free
@@ -226,32 +284,13 @@ func (c *Core) commitMem(now engine.Cycle) {
 		return
 	}
 
-	// Translation suspended: finish it, then run the result hooks and the
-	// whole L1 line loop exactly as the serial path would have.
+	// Translation suspended: run the L1 line loop exactly as the serial
+	// path would have, downstream of the walks commitTranslate finished.
 	at := p.at
-	b := w.block
 	lineShift := c.g.sys.LineShift()
 	pageMask := (uint64(1) << c.g.cfg.PageShift) - 1
-	c.mmu.LookupCommit(at, sc.reqs, sc.results, p.ls)
 	results := sc.results
-	maxReady := engine.Cycle(0)
-	for i := range results {
-		r := &results[i]
-		if r.ReadyAt > maxReady {
-			maxReady = r.ReadyAt
-		}
-		if r.Hit {
-			c.sched.onTLBHit(w.slot, r.LRUDepth)
-		} else {
-			c.sched.onTLBMiss(w.slot, r.VPN)
-			if c.g.tracer != nil {
-				c.emit(Event{Cycle: at, Kind: EvTLBMiss, Core: int16(c.id),
-					Block: int32(b.id), Warp: int16(w.slot), A: r.VPN, B: uint64(r.ReadyAt)})
-				c.emit(Event{Cycle: r.ReadyAt, Kind: EvWalkDone, Core: int16(c.id),
-					Block: int32(b.id), Warp: int16(w.slot), A: r.VPN, B: uint64(r.ReadyAt - at)})
-			}
-		}
-	}
+	maxReady := p.maxReady
 
 	overlap := c.mmu.Config().CacheOverlap
 	penalty := c.mmu.AccessPenalty()

@@ -136,6 +136,25 @@ func (s *System) Prune(now engine.Cycle) {
 	}
 }
 
+// Reset returns the memory system to its post-construction state: L2
+// slices flushed, contention bookkeeping and prune floors cleared, per-
+// slice counters zeroed. Warm-start paths that rerun a kernel from cycle 0
+// on an already-built system call this so the rerun observes exactly the
+// free capacity a fresh system would (Prune/PruneBefore floors from the
+// previous run would otherwise clamp early Acquires; see
+// engine.SlottedResource.Reset).
+func (s *System) Reset() {
+	s.FlushL2()
+	s.icnt.Reset()
+	for i := range s.l2Res {
+		s.l2Res[i].Reset()
+		s.dram[i].Reset()
+	}
+	for i := range s.slices {
+		s.slices[i] = SliceStat{}
+	}
+}
+
 // SliceStats returns the per-L2-slice traffic counters, one per memory
 // partition. The slice is live (counters keep advancing); callers must not
 // mutate it.

@@ -1,0 +1,151 @@
+// Package snapshot implements checkpointed warm-start simulation: capture
+// the full simulator state of a freshly built workload — physical memory
+// (data pages and the page tables materialised inside it), the frame
+// allocator, and the address-space heap cursor — and rewind a used
+// instance back to that state in place, so the N hardware points of a
+// sweep that share one workload restore from a checkpoint instead of
+// rebuilding the dataset and page tables from scratch.
+//
+// Restoring in place (rather than cloning into a fresh AddressSpace) is
+// forced by the workload contract: Workload.Check closures capture the
+// original *vm.AddressSpace plus host-side expected data, so a warm run
+// must reuse the same instance the builder produced. Everything a run
+// mutates outside the captured state — GPU cores, warps, caches, TLBs,
+// contention bookkeeping, statistics — lives in per-run structures that
+// are rebuilt cheaply from the hardware config, and warp/core state at
+// checkpoint time is exactly the reset state gpu.New + Run recreate, so a
+// restored run is byte-identical to a cold one (pinned by the round-trip
+// tests and the ci.sh checkpoint-equivalence gate; DESIGN.md §14).
+package snapshot
+
+import (
+	"fmt"
+	"sync"
+
+	"gpummu/internal/vm"
+	"gpummu/internal/workloads"
+)
+
+// Image is the pristine post-build state of one workload instance. It is
+// immutable after Capture; restores copy out of it.
+type Image struct {
+	pages vm.PageImage
+	alloc vm.AllocState
+	heap  vm.HeapState
+}
+
+// Capture snapshots the address space of a just-built workload. It must be
+// called before the first run (the image is the restore target, so a dirty
+// capture would bake run effects into every warm start).
+func Capture(as *vm.AddressSpace) *Image {
+	return &Image{
+		pages: as.Mem.SnapshotPages(),
+		alloc: as.Alloc().State(),
+		heap:  as.HeapSnapshot(),
+	}
+}
+
+// Restore rewinds the address space to the captured state in place. Only
+// pages written since the capture (or the previous restore) are rewritten,
+// so a restore costs the run's write footprint, not the build footprint.
+func (img *Image) Restore(as *vm.AddressSpace) {
+	as.Mem.RestorePages(img.pages)
+	as.Alloc().SetState(img.alloc)
+	as.SetHeapState(img.heap)
+}
+
+// Pages reports how many physical pages the image holds (observability).
+func (img *Image) Pages() int { return len(img.pages) }
+
+// instance is one built workload plus its pristine image.
+type instance struct {
+	w   *workloads.Workload
+	img *Image
+}
+
+// Stats counts pool activity: cold builds versus warm restores served.
+type Stats struct {
+	Builds   int // workload instances built from scratch
+	Restores int // acquisitions served by rewinding an existing instance
+}
+
+// Pool hands out warm workload instances keyed by build identity
+// (name, size, page shift, seed) — the same parameters workloads.Build
+// consumes, and exactly the axes a hardware sweep holds fixed while
+// config.Hardware.Key() varies. Concurrent acquirers of one key each get
+// a private instance: a busy key builds an additional cold instance that
+// joins the pool on release, so executor parallelism (-j) is preserved
+// while warm reuse accumulates.
+//
+// Invalidation: a pool entry is valid as long as the build inputs in its
+// key fully determine the build — which workloads.Build guarantees (its
+// RNG is seeded from the key, trace workloads read an immutable file path
+// baked into the name). There is no cross-process persistence; a pool
+// dies with the process, so code changes invalidate trivially.
+type Pool struct {
+	mu     sync.Mutex
+	idle   map[string][]*instance
+	builds int
+	reuses int
+}
+
+// NewPool returns an empty checkpoint pool.
+func NewPool() *Pool {
+	return &Pool{idle: make(map[string][]*instance)}
+}
+
+// Key returns the pool key for a build identity.
+func Key(name string, size workloads.Size, pageShift uint, seed uint64) string {
+	return fmt.Sprintf("%s|%d|%d|%d", name, size, pageShift, seed)
+}
+
+// Acquire returns a workload built with the given identity, restored to
+// its pristine post-build state, plus a release function that returns the
+// instance to the pool once the caller's run (including its functional
+// Check) has finished. The first acquisition of a key builds cold and
+// captures the checkpoint; later acquisitions rewind and reuse.
+func (p *Pool) Acquire(name string, size workloads.Size, pageShift uint, seed uint64) (*workloads.Workload, func(), error) {
+	key := Key(name, size, pageShift, seed)
+	p.mu.Lock()
+	if q := p.idle[key]; len(q) > 0 {
+		in := q[len(q)-1]
+		p.idle[key] = q[:len(q)-1]
+		p.reuses++
+		p.mu.Unlock()
+		in.img.Restore(in.w.AS)
+		return in.w, p.releaseFunc(key, in), nil
+	}
+	p.builds++
+	p.mu.Unlock()
+
+	// Build outside the lock: builds are the expensive path, and a second
+	// acquirer of the same key should build its own instance rather than
+	// wait (both join the pool afterwards).
+	w, err := workloads.Build(name, size, pageShift, seed)
+	if err != nil {
+		p.mu.Lock()
+		p.builds--
+		p.mu.Unlock()
+		return nil, nil, err
+	}
+	in := &instance{w: w, img: Capture(w.AS)}
+	return w, p.releaseFunc(key, in), nil
+}
+
+func (p *Pool) releaseFunc(key string, in *instance) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			p.mu.Lock()
+			p.idle[key] = append(p.idle[key], in)
+			p.mu.Unlock()
+		})
+	}
+}
+
+// Stats reports pool activity so far.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Builds: p.builds, Restores: p.reuses}
+}

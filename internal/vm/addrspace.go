@@ -38,6 +38,10 @@ func NewAddressSpace(mem *PhysMem, alloc *FrameAllocator, pageShift uint) *Addre
 // PageShift reports the mapping granularity of this space.
 func (as *AddressSpace) PageShift() uint { return as.pageShift }
 
+// Alloc returns the frame allocator backing this space (snapshot capture
+// and restore need its cursors).
+func (as *AddressSpace) Alloc() *FrameAllocator { return as.alloc }
+
 // HeapBase returns the virtual address where the heap starts (the base of
 // the first Malloc). Reference-model digests iterate mappings from here.
 func (as *AddressSpace) HeapBase() uint64 { return heapBase }

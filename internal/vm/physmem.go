@@ -23,7 +23,14 @@ const (
 	PageSize2M  = 1 << PageShift2M
 )
 
-type physPage [PageSize4K]byte
+// physPage is one materialised 4 KB frame plus a dirty bit. The dirty bit
+// exists for snapshot restore (internal/snapshot): it is set on every write
+// and cleared when a snapshot is taken, so RestorePages only rewrites the
+// frames actually touched since the snapshot instead of the whole footprint.
+type physPage struct {
+	data  [PageSize4K]byte
+	dirty bool
+}
 
 // PhysMem is a sparsely backed simulated physical memory. Pages materialise
 // on first write; reads of never-written memory return zeroes, matching
@@ -43,9 +50,17 @@ func (m *PhysMem) BackedPages() int { return len(m.pages) }
 func (m *PhysMem) page(pa uint64, create bool) *physPage {
 	fn := pa >> PageShift4K
 	p := m.pages[fn]
-	if p == nil && create {
+	if p == nil {
+		if !create {
+			return nil
+		}
 		p = new(physPage)
 		m.pages[fn] = p
+	}
+	if create {
+		// create is true exactly on the write paths; a snapshot restore only
+		// needs to revisit frames written since the snapshot.
+		p.dirty = true
 	}
 	return p
 }
@@ -61,7 +76,7 @@ func (m *PhysMem) Read64(pa uint64) uint64 {
 		return 0
 	}
 	off := pa & (PageSize4K - 1)
-	return binary.LittleEndian.Uint64(p[off : off+8])
+	return binary.LittleEndian.Uint64(p.data[off : off+8])
 }
 
 // Write64 stores a little-endian 64-bit value.
@@ -71,7 +86,7 @@ func (m *PhysMem) Write64(pa, val uint64) {
 	}
 	p := m.page(pa, true)
 	off := pa & (PageSize4K - 1)
-	binary.LittleEndian.PutUint64(p[off:off+8], val)
+	binary.LittleEndian.PutUint64(p.data[off:off+8], val)
 }
 
 // Read32 loads a little-endian 32-bit value.
@@ -84,7 +99,7 @@ func (m *PhysMem) Read32(pa uint64) uint32 {
 		return 0
 	}
 	off := pa & (PageSize4K - 1)
-	return binary.LittleEndian.Uint32(p[off : off+4])
+	return binary.LittleEndian.Uint32(p.data[off : off+4])
 }
 
 // Write32 stores a little-endian 32-bit value.
@@ -94,7 +109,7 @@ func (m *PhysMem) Write32(pa uint64, val uint32) {
 	}
 	p := m.page(pa, true)
 	off := pa & (PageSize4K - 1)
-	binary.LittleEndian.PutUint32(p[off:off+4], val)
+	binary.LittleEndian.PutUint32(p.data[off:off+4], val)
 }
 
 // ReadU8 loads one byte.
@@ -103,12 +118,12 @@ func (m *PhysMem) ReadU8(pa uint64) byte {
 	if p == nil {
 		return 0
 	}
-	return p[pa&(PageSize4K-1)]
+	return p.data[pa&(PageSize4K-1)]
 }
 
 // WriteU8 stores one byte.
 func (m *PhysMem) WriteU8(pa uint64, val byte) {
-	m.page(pa, true)[pa&(PageSize4K-1)] = val
+	m.page(pa, true).data[pa&(PageSize4K-1)] = val
 }
 
 // PageBytes returns a read-only view of the materialised 4 KB page holding
@@ -120,7 +135,7 @@ func (m *PhysMem) PageBytes(pa uint64) []byte {
 	if p == nil {
 		return nil
 	}
-	return p[:]
+	return p.data[:]
 }
 
 // FrameAllocator hands out 4 KB physical frames in a pseudo-random order so

@@ -1,39 +1,60 @@
 #!/usr/bin/env bash
-# Measures simulator throughput on the tiny figure matrix and appends an
-# entry to BENCH_hotpath.json so the performance trajectory is visible
-# across PRs.
+# Measures simulator throughput and appends entries to the BENCH_*.json
+# trajectory files so performance is visible across PRs.
 #
 # Usage: tools/bench.sh [label]     (label defaults to the short git HEAD)
 #
-# Metrics recorded per BENCH_hotpath.json entry:
-#   total_fig_seconds      wall time summed over every BenchmarkFig* figure
-#                          benchmark at -benchtime 1x (the tiny figure matrix)
-#   sim_cycles_per_second  simulated cycles per wall-second, from
-#                          BenchmarkSimulatorThroughput's sim_cycles metric
+# Every appended record is stamped with host_cpus, gomaxprocs, and git_sha
+# so an entry is attributable to a machine and commit — a "speedup" from a
+# 1-CPU container and one from a 16-CPU box are not comparable otherwise.
 #
-# A second entry goes to BENCH_parcore.json from BenchmarkParCoreWorkers
-# (one small run ticked by 1 vs 8 core goroutines, the -par flag):
-#   par1_seconds / par8_seconds   wall time of the same simulation
-#   par8_speedup                  par1_seconds / par8_seconds
-#   sim_cycles                    identical across par by construction
-#   host_cpus                     interpret the speedup against this —
-#                                 a 1-CPU host cannot show one
+# Sections (each appends one entry per invocation):
+#   BENCH_hotpath.json     tiny figure matrix wall time + simulated
+#                          cycles/second (BenchmarkFig*, BenchmarkSimulatorThroughput)
+#   BENCH_parcore.json     same simulation ticked by -par 1 vs 8 goroutines
+#                          (BenchmarkParCoreWorkers)
+#   BENCH_scaling.json     full -par scaling curve (1,2,4,8) from
+#                          `gpusim -benchscaling`; points beyond GOMAXPROCS
+#                          are flagged oversubscribed
+#   BENCH_checkpoint.json  checkpoint warm-start vs cold rebuild over an
+#                          8-config sweep sharing one workload, from
+#                          `gpusim -benchcheckpoint` (the >=1.3x gate reads
+#                          this record's "speedup")
 #
 # Entries are append-only: compare the newest "after" entry against the
-# older "before" entries to see the speedup a hot-path PR delivered.
+# older "before" entries to see the speedup a PR delivered.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 label="${1:-$(git rev-parse --short HEAD 2>/dev/null || echo unlabeled)}"
-out_json="BENCH_hotpath.json"
+git_sha="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+cpus="$(nproc 2>/dev/null || echo 1)"
+gomaxprocs="${GOMAXPROCS:-$cpus}"
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+gpusim_bin="$(mktemp)"
+trap 'rm -f "$raw" "$gpusim_bin"' EXIT
 
+# append_json FILE ENTRY — append one JSON object to the array in FILE,
+# creating the file as a one-element array if absent.
+append_json() {
+	local file="$1" entry="$2"
+	if [[ -s "$file" ]]; then
+		sed '$d' "$file" >"$file.tmp" # strip the trailing "]"
+		printf ',\n%s\n]\n' "$entry" >>"$file.tmp"
+		mv "$file.tmp" "$file"
+	else
+		printf '[\n%s\n]\n' "$entry" >"$file"
+	fi
+	echo "bench: recorded entry '$label' in $file" >&2
+}
+
+out_json="BENCH_hotpath.json"
 echo "bench: running tiny figure matrix (go test -bench ...)" >&2
 go test -run '^$' -bench 'BenchmarkFig|BenchmarkSimulatorThroughput' \
 	-benchtime 1x -timeout 60m . | tee "$raw" >&2
 
-entry="$(awk -v label="$label" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+entry="$(awk -v label="$label" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+	-v cpus="$cpus" -v gmp="$gomaxprocs" -v sha="$git_sha" '
 /^BenchmarkFig/ {
 	# Format: BenchmarkFigNN...-P  N  <ns> ns/op  [<val> <metric>]...
 	for (i = 1; i <= NF; i++) if ($i == "ns/op") fig_ns += $(i-1)
@@ -49,21 +70,14 @@ END {
 	printf "  {\n"
 	printf "    \"label\": \"%s\",\n", label
 	printf "    \"date\": \"%s\",\n", date
+	printf "    \"host_cpus\": %d,\n", cpus
+	printf "    \"gomaxprocs\": %d,\n", gmp
+	printf "    \"git_sha\": \"%s\",\n", sha
 	printf "    \"total_fig_seconds\": %.3f,\n", fig_ns / 1e9
 	printf "    \"sim_cycles_per_second\": %.0f\n", cps
 	printf "  }"
 }' "$raw")"
-
-if [[ -s "$out_json" ]]; then
-	# Append to the existing JSON array: strip the trailing "]" line.
-	sed '$d' "$out_json" >"$out_json.tmp"
-	printf ',\n%s\n]\n' "$entry" >>"$out_json.tmp"
-	mv "$out_json.tmp" "$out_json"
-else
-	printf '[\n%s\n]\n' "$entry" >"$out_json"
-fi
-
-echo "bench: recorded entry '$label' in $out_json" >&2
+append_json "$out_json" "$entry"
 tail -n 8 "$out_json" >&2
 
 par_json="BENCH_parcore.json"
@@ -72,7 +86,7 @@ go test -run '^$' -bench 'BenchmarkParCoreWorkers' \
 	-benchtime 1x -timeout 60m . | tee "$raw" >&2
 
 par_entry="$(awk -v label="$label" -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
-	-v cpus="$(nproc 2>/dev/null || echo 1)" '
+	-v cpus="$cpus" -v gmp="$gomaxprocs" -v sha="$git_sha" '
 /^BenchmarkParCoreWorkers\/par1/ {
 	for (i = 1; i <= NF; i++) {
 		if ($i == "ns/op") p1_ns = $(i-1)
@@ -88,20 +102,31 @@ END {
 	printf "    \"label\": \"%s\",\n", label
 	printf "    \"date\": \"%s\",\n", date
 	printf "    \"host_cpus\": %d,\n", cpus
+	printf "    \"gomaxprocs\": %d,\n", gmp
+	printf "    \"git_sha\": \"%s\",\n", sha
 	printf "    \"par1_seconds\": %.3f,\n", p1_ns / 1e9
 	printf "    \"par8_seconds\": %.3f,\n", p8_ns / 1e9
 	printf "    \"par8_speedup\": %.2f,\n", speedup
 	printf "    \"sim_cycles\": %.0f\n", cycles
 	printf "  }"
 }' "$raw")"
-
-if [[ -s "$par_json" ]]; then
-	sed '$d' "$par_json" >"$par_json.tmp"
-	printf ',\n%s\n]\n' "$par_entry" >>"$par_json.tmp"
-	mv "$par_json.tmp" "$par_json"
-else
-	printf '[\n%s\n]\n' "$par_entry" >"$par_json"
-fi
-
-echo "bench: recorded entry '$label' in $par_json" >&2
+append_json "$par_json" "$par_entry"
 tail -n 10 "$par_json" >&2
+
+# The gpusim bench modes stamp host_cpus/gomaxprocs themselves from the Go
+# runtime; bench.sh only hands them the commit SHA via -benchlabel.
+go build -o "$gpusim_bin" ./cmd/gpusim
+
+echo "bench: running -par scaling curve (gpusim -benchscaling)" >&2
+"$gpusim_bin" -workload mummergpu -size tiny -cores 4 \
+	-benchscaling -benchpars 1,2,4,8 -benchlabel "$git_sha" >"$raw"
+append_json "BENCH_scaling.json" "$(cat "$raw")"
+
+# mummergpu/tiny on a 4-core machine has the highest build-time fraction
+# (suffix-tree construction dominates), so the checkpoint delta is a
+# signal, not noise — see EXPERIMENTS.md for the methodology.
+echo "bench: running checkpoint warm-start delta (gpusim -benchcheckpoint)" >&2
+"$gpusim_bin" -workload mummergpu -size tiny -cores 4 \
+	-benchcheckpoint 8 -benchlabel "$git_sha" >"$raw"
+append_json "BENCH_checkpoint.json" "$(cat "$raw")"
+tail -n 16 "BENCH_checkpoint.json" >&2

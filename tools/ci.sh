@@ -67,8 +67,12 @@ go build -o "$obs_tmp/gpusim" ./cmd/gpusim
 for f in examples/campaigns/*; do
 	"$obs_tmp/experiments" -campaign "$f" -validate >/dev/null
 done
+# -par must not exceed GOMAXPROCS (the CLIs fail fast on oversubscription),
+# so pick the widest in-budget value for the equivalence runs below.
+host_par="$(nproc 2>/dev/null || echo 1)"
+((host_par > 2)) && host_par=2
 "$obs_tmp/experiments" -fig 2 -size tiny -machine small >"$obs_tmp/fig2.flags.txt"
-"$obs_tmp/experiments" -campaign examples/campaigns/fig2-tiny.yaml -j 3 -par 2 >"$obs_tmp/fig2.campaign.txt"
+"$obs_tmp/experiments" -campaign examples/campaigns/fig2-tiny.yaml -j 3 -par "$host_par" >"$obs_tmp/fig2.campaign.txt"
 if ! cmp -s "$obs_tmp/fig2.flags.txt" "$obs_tmp/fig2.campaign.txt"; then
 	echo "ci: FAIL campaign-driven fig2 report differs from the flag-driven report" >&2
 	exit 1
@@ -77,6 +81,23 @@ if ! "$obs_tmp/gpusim" -campaign examples/campaigns/trace-replay.yaml | grep -q 
 	echo "ci: FAIL trace-replay campaign functional check" >&2
 	exit 1
 fi
+
+# Checkpoint equivalence gate (DESIGN.md section 14): the same campaign run
+# with -checkpoint (runs restored from per-workload post-build snapshots)
+# must render a byte-identical report to the cold run above. This is the
+# end-to-end proof that snapshot restore leaves no trace in the output.
+echo "== checkpoint equivalence (fig2-tiny campaign, cold == -checkpoint)"
+"$obs_tmp/experiments" -campaign examples/campaigns/fig2-tiny.yaml -j 3 -par "$host_par" -checkpoint >"$obs_tmp/fig2.ckpt.txt"
+if ! cmp -s "$obs_tmp/fig2.campaign.txt" "$obs_tmp/fig2.ckpt.txt"; then
+	echo "ci: FAIL checkpointed fig2 report differs from the cold report" >&2
+	exit 1
+fi
+
+# Snapshot round-trip under the race detector: restore-then-run must be
+# byte-identical to a cold run (stats, memory image, Chrome trace) for
+# -par 1/2/8, and the snapshot pool must be clean under concurrent Acquire.
+echo "== go test -race snapshot round-trip"
+go test -race ./internal/snapshot
 
 # Differential fuzzing smoke (DESIGN.md section 12): each target explores
 # beyond the committed seed corpus for a short budget. Failures minimise to
