@@ -42,6 +42,7 @@ import (
 	"gpummu/internal/campaign"
 	"gpummu/internal/config"
 	"gpummu/internal/experiments"
+	"gpummu/internal/gpu"
 	"gpummu/internal/workloads"
 )
 
@@ -56,6 +57,8 @@ func main() {
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "parallel simulation workers")
 		par      = flag.Int("par", 1, "goroutines ticking cores inside each simulation (output is identical for any value)")
 		checkpt  = flag.Bool("checkpoint", false, "warm-start runs from per-workload post-build snapshots (output is identical either way)")
+		plan     = flag.String("sampleplan", "", "run every simulation under interval sampling warmup,detail,fastforward[,warm] (cycles); empty = exact")
+		smpRep   = flag.Bool("samplereport", false, "append the exact-vs-sampled validation table for -sampleplan (runs each workload twice)")
 		machine  = flag.String("machine", "baseline", "machine preset: baseline|small")
 		coresOvr = flag.Int("cores", 0, "override shader core count (0 = preset)")
 		sample   = flag.Uint64("sample", 0, "record a time-series sample every N cycles in every run")
@@ -126,6 +129,19 @@ func main() {
 	checkptV := *checkpt
 	if camp != nil && !isSet["checkpoint"] {
 		checkptV = camp.Run.Checkpoint
+	}
+	samplePlan := gpu.SamplePlan{}
+	if camp != nil && !isSet["sampleplan"] {
+		samplePlan = camp.Run.Sampling
+	} else if *plan != "" {
+		p, err := gpu.ParseSamplePlan(*plan)
+		if err != nil {
+			fatal("-sampleplan: %v", err)
+		}
+		samplePlan = p
+	}
+	if *smpRep && !samplePlan.Enabled() {
+		fatal("-samplereport needs -sampleplan (or a campaign with run.sampling)")
 	}
 
 	// -machine replaces the campaign's whole machine block (preset and
@@ -212,6 +228,7 @@ func main() {
 		CoreWorkers: parV,
 		Obs:         ob,
 		Checkpoint:  checkptV,
+		Sampling:    samplePlan,
 	}
 
 	var figs []experiments.Figure
@@ -272,6 +289,16 @@ func main() {
 		closeReport()
 		stopProfiles()
 		os.Exit(1)
+	}
+	if *smpRep {
+		body, err := experiments.SampledReport(h, samplePlan)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: sampled report: %v\n", err)
+			closeReport()
+			stopProfiles()
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "\n## sampled-vs-exact — interval sampling validation (plan %s)\n\n%s\n", samplePlan, body)
 	}
 	closeReport()
 }

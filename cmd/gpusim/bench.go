@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"gpummu/internal/config"
+	"gpummu/internal/experiments"
 	"gpummu/internal/gpu"
 	"gpummu/internal/snapshot"
 	"gpummu/internal/stats"
@@ -62,17 +63,19 @@ type scalingPoint struct {
 
 type scalingRecord struct {
 	benchMeta
-	Points []scalingPoint `json:"points"`
+	Points  []scalingPoint `json:"points"`
+	Skipped []int          `json:"skipped_oversubscribed,omitempty"` // -par points skipped (beyond GOMAXPROCS, no -allowoversub)
 }
 
 // runBenchScaling measures one workload under the same configuration at
 // each -par worker count and emits the curve as JSON. The workload is
 // built once and checkpoint-restored between points (the restore is part
 // of what this PR ships; byte-identical cycles across points double as
-// the production equivalence check). Points beyond GOMAXPROCS are still
-// measured — on a 1-CPU host the curve honestly records the slowdown the
-// -par fail-fast otherwise prevents — but are flagged oversubscribed.
-func runBenchScaling(cfg config.Hardware, name, sizeName string, sz workloads.Size, seed uint64, pars []int, label string) error {
+// the production equivalence check). Points beyond GOMAXPROCS are skipped
+// by default — on a 1-CPU host they only measure barrier overhead, which
+// wastes bench time and pollutes the trajectory; -allowoversub restores
+// them (flagged oversubscribed in the record).
+func runBenchScaling(cfg config.Hardware, name, sizeName string, sz workloads.Size, seed uint64, pars []int, allowOversub bool, label string) error {
 	w, err := workloads.Build(name, sz, cfg.PageShift, seed)
 	if err != nil {
 		return err
@@ -82,7 +85,13 @@ func runBenchScaling(cfg config.Hardware, name, sizeName string, sz workloads.Si
 	rec := scalingRecord{benchMeta: newBenchMeta("scaling", name, sizeName, label)}
 	var baseCycles uint64
 	var baseSecs float64
-	for i, par := range pars {
+	for _, par := range pars {
+		if par > runtime.GOMAXPROCS(0) && !allowOversub {
+			rec.Skipped = append(rec.Skipped, par)
+			fmt.Fprintf(os.Stderr, "# benchscaling par=%d: skipped (exceeds GOMAXPROCS=%d; -allowoversub measures it anyway)\n",
+				par, runtime.GOMAXPROCS(0))
+			continue
+		}
 		img.Restore(w.AS)
 		st := &stats.Sim{}
 		g, err := gpu.New(cfg, w.AS, st)
@@ -101,10 +110,10 @@ func runBenchScaling(cfg config.Hardware, name, sizeName string, sz workloads.Si
 				return fmt.Errorf("par=%d: functional check: %w", par, err)
 			}
 		}
-		if i == 0 {
+		if len(rec.Points) == 0 {
 			baseCycles, baseSecs = cycles, secs
 		} else if cycles != baseCycles {
-			return fmt.Errorf("par=%d simulated %d cycles, par=%d simulated %d: parallel ticking must be byte-identical", par, cycles, pars[0], baseCycles)
+			return fmt.Errorf("par=%d simulated %d cycles, par=%d simulated %d: parallel ticking must be byte-identical", par, cycles, rec.Points[0].Par, baseCycles)
 		}
 		rec.Points = append(rec.Points, scalingPoint{
 			Par:            par,
@@ -115,6 +124,9 @@ func runBenchScaling(cfg config.Hardware, name, sizeName string, sz workloads.Si
 			Oversubscribed: par > runtime.GOMAXPROCS(0),
 		})
 		fmt.Fprintf(os.Stderr, "# benchscaling par=%d: %.3fs, %d cycles\n", par, secs, cycles)
+	}
+	if len(rec.Points) == 0 {
+		return fmt.Errorf("-benchscaling: every -benchpars point exceeds GOMAXPROCS(0)=%d; pass -allowoversub to measure them anyway", runtime.GOMAXPROCS(0))
 	}
 	return writeBenchJSON(rec)
 }
@@ -215,6 +227,84 @@ func runBenchCheckpoint(cfg config.Hardware, name, sizeName string, sz workloads
 	}
 	fmt.Fprintf(os.Stderr, "# benchcheckpoint %d configs: cold %.3fs, warm %.3fs (%.2fx, %d builds + %d restores)\n",
 		rec.Configs, coldSecs, warmSecs, rec.Speedup, ps.Builds, ps.Restores)
+	return writeBenchJSON(rec)
+}
+
+// samplingWorkload is one workload's row in the sampling bench record.
+type samplingWorkload struct {
+	Workload       string  `json:"workload"`
+	ExactSeconds   float64 `json:"exact_seconds"`
+	SampledSeconds float64 `json:"sampled_seconds"`
+	Speedup        float64 `json:"speedup"`
+	ExactCycles    uint64  `json:"exact_cycles"`
+	EstCycles      float64 `json:"est_cycles"`
+	EstCyclesCI    float64 `json:"est_cycles_ci"`
+	CyclesErr      float64 `json:"cycles_err"` // |est-exact|/exact
+	IPCErr         float64 `json:"ipc_err"`
+	MissRateErr    float64 `json:"missrate_err"`
+	DetailFraction float64 `json:"detail_fraction"`
+	DigestsMatch   bool    `json:"digests_identical"` // end-of-run MemDigest + PageTableDigest vs the exact run
+}
+
+type samplingRecord struct {
+	benchMeta
+	Plan             string             `json:"plan"` // warmup,detail,fastforward[,warm]
+	Workloads        []samplingWorkload `json:"workloads"`
+	AggregateSpeedup float64            `json:"aggregate_speedup"` // sum(exact)/sum(sampled) wall clock
+	MaxIPCErr        float64            `json:"max_ipc_err"`
+	MaxMissRateErr   float64            `json:"max_missrate_err"`
+}
+
+// runBenchSampling measures sampled-vs-exact wall clock and accuracy per
+// workload on the paper's augmented MMU (the configuration the sampled
+// validation story standardises on, matching experiments.SampledReport) and
+// emits one JSON record. The >=5x wall-clock / <=2% IPC-and-miss-rate
+// acceptance gate reads aggregate_speedup, max_ipc_err and max_missrate_err;
+// digests_identical pins that fast-forward advanced architectural state
+// exactly.
+func runBenchSampling(cfg config.Hardware, names []string, sizeName string, sz workloads.Size, seed uint64, coreWorkers int, plan gpu.SamplePlan, label string) error {
+	cfg.MMU = config.AugmentedMMU()
+	rec := samplingRecord{
+		benchMeta: newBenchMeta("sampling", strings.Join(names, ","), sizeName, label),
+		Plan:      plan.String(),
+	}
+	var exactSum, sampledSum float64
+	for _, name := range names {
+		r, err := experiments.CompareSampled(name, sz, cfg, seed, coreWorkers, plan)
+		if err != nil {
+			return fmt.Errorf("-benchsampling %s: %w", name, err)
+		}
+		row := samplingWorkload{
+			Workload:       name,
+			ExactSeconds:   r.ExactWall.Seconds(),
+			SampledSeconds: r.SampledWall.Seconds(),
+			Speedup:        r.Speedup,
+			ExactCycles:    r.ExactCycles,
+			EstCycles:      r.EstCycles.Value,
+			EstCyclesCI:    r.EstCycles.CI,
+			CyclesErr:      r.CyclesErr,
+			IPCErr:         r.IPCErr,
+			MissRateErr:    r.MissErr,
+			DetailFraction: r.Sampled.DetailFraction(),
+			DigestsMatch:   r.DigestMatch,
+		}
+		rec.Workloads = append(rec.Workloads, row)
+		exactSum += row.ExactSeconds
+		sampledSum += row.SampledSeconds
+		if row.IPCErr > rec.MaxIPCErr {
+			rec.MaxIPCErr = row.IPCErr
+		}
+		if row.MissRateErr > rec.MaxMissRateErr {
+			rec.MaxMissRateErr = row.MissRateErr
+		}
+		fmt.Fprintf(os.Stderr, "# benchsampling %s: exact %.3fs, sampled %.3fs (%.2fx), ipc_err %.2f%%, miss_err %.2f%%, digests %v\n",
+			name, row.ExactSeconds, row.SampledSeconds, row.Speedup, 100*row.IPCErr, 100*row.MissRateErr, row.DigestsMatch)
+	}
+	if sampledSum > 0 {
+		rec.AggregateSpeedup = exactSum / sampledSum
+	}
+	fmt.Fprintf(os.Stderr, "# benchsampling aggregate: %.2fx (exact %.3fs / sampled %.3fs)\n",
+		rec.AggregateSpeedup, exactSum, sampledSum)
 	return writeBenchJSON(rec)
 }
 

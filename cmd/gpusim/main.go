@@ -63,8 +63,11 @@ func main() {
 		par      = flag.Int("par", 1, "goroutines ticking cores inside one simulation (output is identical for any value)")
 		benchSc  = flag.Bool("benchscaling", false, "measure the -par scaling curve for one workload; emits a JSON record on stdout")
 		benchCk  = flag.Int("benchcheckpoint", 0, "measure checkpoint warm-start vs cold rebuild over N sweep configs sharing one workload; emits a JSON record on stdout")
+		benchSmp = flag.Bool("benchsampling", false, "measure sampled-vs-exact wall clock and accuracy per workload on the augmented MMU; emits a JSON record on stdout")
 		benchPar = flag.String("benchpars", "1,2,4,8", "comma list of -par points measured by -benchscaling")
+		oversub  = flag.Bool("allowoversub", false, "let -benchscaling measure -par points beyond GOMAXPROCS instead of skipping them")
 		benchLbl = flag.String("benchlabel", "", "commit label stamped into bench records (tools/bench.sh passes the git SHA)")
+		plan     = flag.String("sampleplan", "", "interval sampling plan warmup,detail,fastforward[,warm] in cycles; empty = exact runs")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		asJSON   = flag.Bool("json", false, "emit statistics as JSON")
 		events   = flag.Int("events", 0, "dump the last N simulation events to stderr (single workload only)")
@@ -242,11 +245,22 @@ func main() {
 	if camp != nil && !isSet["par"] {
 		*par = camp.Run.Par
 	}
+	samplePlan := gpu.SamplePlan{}
+	if camp != nil && !isSet["sampleplan"] {
+		samplePlan = camp.Run.Sampling
+	} else if *plan != "" {
+		p, err := gpu.ParseSamplePlan(*plan)
+		if err != nil {
+			fatal("-sampleplan: %v", err)
+		}
+		samplePlan = p
+	}
 	// Extra -par workers beyond GOMAXPROCS cannot run in parallel, and the
 	// two-phase barriers make the run strictly slower, so reject the silent
 	// slowdown up front. -benchscaling is exempt: measuring the oversubscribed
-	// points (flagged in its record) is the point of the mode.
-	benchMode := *benchSc || *benchCk > 0
+	// points (with -allowoversub, flagged in the record) is the point of the
+	// mode.
+	benchMode := *benchSc || *benchCk > 0 || *benchSmp
 	if maxp := runtime.GOMAXPROCS(0); !benchMode && *par > maxp {
 		fatal("-par %d exceeds GOMAXPROCS(0)=%d: extra core-ticking workers cannot run in parallel and the phase barriers make the run slower, not faster (README %q); use -par <= %d or raise GOMAXPROCS", *par, maxp, "Parallel core ticking", maxp)
 	}
@@ -303,20 +317,34 @@ func main() {
 	}
 
 	if benchMode {
-		if *benchSc && *benchCk > 0 {
-			fatal("-benchscaling and -benchcheckpoint are separate modes; choose one")
+		modes := 0
+		for _, on := range []bool{*benchSc, *benchCk > 0, *benchSmp} {
+			if on {
+				modes++
+			}
 		}
-		if len(names) != 1 {
+		if modes > 1 {
+			fatal("-benchscaling, -benchcheckpoint and -benchsampling are separate modes; choose one")
+		}
+		if !*benchSmp && len(names) != 1 {
 			fatal("bench modes need a single workload (got %d)", len(names))
 		}
 		var err error
-		if *benchSc {
+		switch {
+		case *benchSc:
 			pars, perr := parseParList(*benchPar)
 			if perr != nil {
 				fatal("-benchpars: %v", perr)
 			}
-			err = runBenchScaling(cfg, names[0], *size, sz, *seed, pars, *benchLbl)
-		} else {
+			err = runBenchScaling(cfg, names[0], *size, sz, *seed, pars, *oversub, *benchLbl)
+		case *benchSmp:
+			if !samplePlan.Enabled() {
+				// The validated default: windows long enough that the TLBs
+				// re-warm organically inside each warmup (DESIGN.md §15).
+				samplePlan = gpu.SamplePlan{Warmup: 20000, Detail: 20000, FastForward: 1000000}
+			}
+			err = runBenchSampling(cfg, names, *size, sz, *seed, *par, samplePlan, *benchLbl)
+		default:
 			err = runBenchCheckpoint(cfg, names[0], *size, sz, *seed, *benchCk, *benchLbl)
 		}
 		if err != nil {
@@ -375,7 +403,13 @@ func main() {
 		if *metrics != "" {
 			g.Metrics = obs.NewRegistry()
 		}
-		cycles, err := g.Run(w.Launch)
+		var cycles uint64
+		var smp *stats.Sampled
+		if samplePlan.Enabled() {
+			cycles, smp, err = g.RunSampled(w.Launch, samplePlan)
+		} else {
+			cycles, err = g.Run(w.Launch)
+		}
 		if ct != nil {
 			// Close the trace document even on abort: a partial but
 			// well-formed trace is exactly what livelock debugging needs.
@@ -414,11 +448,11 @@ func main() {
 		}
 		var b strings.Builder
 		if *asJSON {
-			if err := writeJSON(&b, name, *size, cycles, st, cfg); err != nil {
+			if err := writeJSON(&b, name, *size, cycles, st, cfg, smp); err != nil {
 				return outcome{err: err}
 			}
 		} else {
-			writeText(&b, name, *size, cycles, st, cfg, w)
+			writeText(&b, name, *size, cycles, st, cfg, w, smp)
 		}
 		if ring != nil {
 			fmt.Fprintf(os.Stderr, "--- last %d of %d events ---\n", len(ring.Events()), ring.Total())
@@ -551,8 +585,10 @@ func writeMetrics(reg *obs.Registry, dst string) error {
 	return f.Close()
 }
 
-// writeText renders the classic human-readable per-run report.
-func writeText(out io.Writer, name, size string, cycles uint64, st *stats.Sim, cfg config.Hardware, w *workloads.Workload) {
+// writeText renders the classic human-readable per-run report. Under a
+// sample plan, cycles is the detailed cycle count and smp carries the
+// extrapolated whole-run estimates appended at the end.
+func writeText(out io.Writer, name, size string, cycles uint64, st *stats.Sim, cfg config.Hardware, w *workloads.Workload, smp *stats.Sampled) {
 	fmt.Fprintln(out, "functional check: ok")
 	inv := w.AS.PT.Inventory()
 	fmt.Fprintf(out, "workload=%s size=%s cycles=%d\n", name, size, cycles)
@@ -573,10 +609,13 @@ func writeText(out io.Writer, name, size string, cycles uint64, st *stats.Sim, c
 	if cfg.TBC.Mode != config.DivStack {
 		fmt.Fprintf(out, "tbc: compacted=%d cpm-rejects=%d\n", st.CompactedWarps, st.CPMRejects)
 	}
+	if smp != nil {
+		fmt.Fprint(out, smp.Summary())
+	}
 }
 
 // writeJSON renders one run as an indented JSON object.
-func writeJSON(out io.Writer, name, size string, cycles uint64, st *stats.Sim, cfg config.Hardware) error {
+func writeJSON(out io.Writer, name, size string, cycles uint64, st *stats.Sim, cfg config.Hardware, smp *stats.Sampled) error {
 	obj := map[string]interface{}{
 		"workload":      name,
 		"size":          size,
@@ -599,6 +638,21 @@ func writeJSON(out io.Writer, name, size string, cycles uint64, st *stats.Sim, c
 		"sharedTLBHits": st.SharedTLBHits.Value(),
 		"compacted":     st.CompactedWarps.Value(),
 		"simdUtil":      st.SIMDUtilisation(cfg.WarpWidth),
+	}
+	if smp != nil {
+		obj["sampled"] = map[string]interface{}{
+			"estCycles":      smp.EstimatedCycles().Value,
+			"estCyclesCI":    smp.EstimatedCycles().CI,
+			"estIPC":         smp.IPC().Value,
+			"estIPCCI":       smp.IPC().CI,
+			"tlbMissRate":    smp.TLBMissRate().Value,
+			"tlbMissRateCI":  smp.TLBMissRate().CI,
+			"detailCycles":   smp.DetailCycles,
+			"ffBlocks":       smp.FFBlocks,
+			"totalBlocks":    smp.TotalBlocks,
+			"detailFraction": smp.DetailFraction(),
+			"intervals":      len(smp.Intervals),
+		}
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")

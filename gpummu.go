@@ -143,6 +143,19 @@ func NewSampler(every uint64, capacity int) *Sampler { return obs.NewSampler(eve
 // NewRegistry creates an empty metrics registry for WithMetrics.
 func NewRegistry() *Registry { return obs.NewRegistry() }
 
+// SamplePlan configures SMARTS-style interval sampling for WithSampling:
+// per interval, Warmup detailed-but-unmeasured cycles, Detail measured
+// cycles, and a fast-forward window worth FastForward cycles of work
+// executed functionally. See internal/gpu.SamplePlan.
+type SamplePlan = gpu.SamplePlan
+
+// ParseSamplePlan parses the CLI form "warmup,detail,fastforward[,warm]".
+func ParseSamplePlan(s string) (SamplePlan, error) { return gpu.ParseSamplePlan(s) }
+
+// SampledStats holds the per-interval measurements and extrapolated totals
+// of a sampled run, with 95% confidence intervals on the headline metrics.
+type SampledStats = stats.Sampled
+
 // Report is the outcome of one simulation: every statistic the paper's
 // figures draw from. It embeds the raw statistics and records the
 // workload/config identity.
@@ -158,6 +171,11 @@ type Report struct {
 	// Metrics is the labelled registry when a WithMetrics option was given
 	// (nil otherwise).
 	Metrics *Registry
+	// Sampled holds the interval-sampling estimates when a WithSampling
+	// option was given (nil otherwise). The embedded Sim statistics then
+	// cover only the detailed windows; whole-run estimates with error bars
+	// live here.
+	Sampled *SampledStats
 }
 
 // Speedup returns this run's speedup relative to a baseline run of the
@@ -186,6 +204,7 @@ type runSpec struct {
 	check func() error // functional verification after the run
 
 	workers       int
+	sampling      SamplePlan
 	invariants    bool
 	maxCycles     uint64
 	watchdog      uint64
@@ -240,6 +259,17 @@ func WithCheck(fn func() error) RunOption {
 // Simulation output is byte-identical for any value.
 func WithWorkers(n int) RunOption {
 	return func(s *runSpec) { s.workers = n }
+}
+
+// WithSampling enables SMARTS-style interval sampling under the given plan:
+// the run alternates detailed timing windows with fast-forward windows that
+// execute whole thread blocks functionally. Architectural state (memory,
+// page tables) stays exact; timing statistics cover only the detailed
+// windows, and the report's Sampled field carries whole-run estimates with
+// 95% confidence intervals. Grids too small for the retire rate to be
+// measured degrade to exact execution. A zero plan disables sampling.
+func WithSampling(plan SamplePlan) RunOption {
+	return func(s *runSpec) { s.sampling = plan }
 }
 
 // WithInvariants enables the debug-build invariant checker: the simulator
@@ -383,7 +413,13 @@ func runSim(ctx context.Context, spec *runSpec) (*Report, error) {
 		g.SetTracer(tracer)
 	}
 
-	_, runErr := g.Run(launch)
+	var smp *stats.Sampled
+	var runErr error
+	if spec.sampling.Enabled() {
+		_, smp, runErr = g.RunSampled(launch, spec.sampling)
+	} else {
+		_, runErr = g.Run(launch)
+	}
 	if tracer != nil {
 		// Close even on failure so a partial trace is still valid JSON.
 		if cerr := tracer.Close(); cerr != nil && runErr == nil {
@@ -394,7 +430,7 @@ func runSim(ctx context.Context, spec *runSpec) (*Report, error) {
 		return nil, fmt.Errorf("gpummu: running %s: %w", name, runErr)
 	}
 
-	rep := &Report{Sim: *st, Workload: name, Metrics: spec.metrics}
+	rep := &Report{Sim: *st, Workload: name, Metrics: spec.metrics, Sampled: smp}
 	if spec.sampler != nil {
 		rep.Series = spec.sampler.Samples()
 	}

@@ -34,6 +34,7 @@ import (
 
 	"gpummu/internal/config"
 	"gpummu/internal/experiments"
+	"gpummu/internal/gpu"
 	"gpummu/internal/workloads"
 )
 
@@ -127,6 +128,13 @@ type RunOptions struct {
 	// (experiments.Executor.Checkpoint). Reports are byte-identical either
 	// way; default false.
 	Checkpoint bool
+	// Sampling executes every run under SMARTS-style interval sampling
+	// (experiments.Options.Sampling, the -sampleplan flag): per interval,
+	// Warmup detailed-but-unmeasured cycles, Detail measured cycles, then a
+	// fast-forward window worth FastForward cycles executed functionally.
+	// Rendered Cycles/Instructions become extrapolated estimates; ratios
+	// come from the measured windows. The zero value keeps runs exact.
+	Sampling gpu.SamplePlan
 }
 
 // Obs mirrors experiments.ObsOptions with a relative deadline.
@@ -254,6 +262,10 @@ func (c *Campaign) Validate() error {
 	}
 	if c.Run.Par < 0 {
 		return badField("run.par", c.Run.Par, "must be >= 0 (0 and 1 tick cores serially)")
+	}
+	if err := c.Run.Sampling.Validate(); err != nil {
+		return badField("run.sampling", c.Run.Sampling.String(),
+			"enabled plans need detail > 0 and fastforward > 0")
 	}
 	if c.Obs.SampleDir != "" && c.Obs.SampleEvery == 0 {
 		return badField("obs.sampleDir", c.Obs.SampleDir, "requires obs.sampleEvery > 0")

@@ -11,6 +11,7 @@ import (
 
 	"gpummu/internal/config"
 	"gpummu/internal/experiments"
+	"gpummu/internal/gpu"
 	"gpummu/internal/workloads"
 )
 
@@ -99,6 +100,12 @@ func TestValidationErrors(t *testing.T) {
 		{"bad workers", valid + "run:\n  workers: -1\n", "run.workers"},
 		{"workers not int", valid + "run:\n  workers: many\n", "run.workers"},
 		{"bad par", valid + "run:\n  par: -1\n", "run.par"},
+		{"sampling no detail", valid + "run:\n  sampling:\n    warmup: 100\n    fastforward: 1000\n", "run.sampling"},
+		{"sampling no fastforward", valid + "run:\n  sampling:\n    detail: 100\n", "run.sampling"},
+		{"sampling bad shorthand", valid + "run:\n  sampling: fast\n", "run.sampling"},
+		{"sampling bad warm token", valid + "run:\n  sampling: \"1,2,3,cold\"\n", "run.sampling"},
+		{"sampling unknown key", valid + "run:\n  sampling:\n    detail: 100\n    cooldown: 5\n", "run.sampling.cooldown"},
+		{"sampling bad warmtlb", valid + "run:\n  sampling:\n    detail: 1\n    fastforward: 1\n    warmtlb: maybe\n", "run.sampling.warmtlb"},
 		{"sampleDir without sampleEvery", valid + "obs:\n  sampleDir: out\n", "obs.sampleDir"},
 		{"bad deadline", valid + "obs:\n  deadline: soon\n", "obs.deadline"},
 		{"negative deadline", valid + "obs:\n  deadline: -5m\n", "obs.deadline"},
@@ -324,7 +331,7 @@ func TestSweepFigureEndToEnd(t *testing.T) {
 func TestHarnessOptions(t *testing.T) {
 	doc := "apiVersion: gpummu/v1\nname: opts\nfigures: [fig2]\n" +
 		"workloads:\n  names: [kmeans]\n  size: medium\n  seed: 9\n" +
-		"run:\n  workers: 5\n  par: 3\n" +
+		"run:\n  workers: 5\n  par: 3\n  sampling:\n    warmup: 500\n    detail: 2000\n    fastforward: 20000\n" +
 		"obs:\n  sampleEvery: 1000\n  watchdog: 2000\n  maxCycles: 3000\n  deadline: 1h\n"
 	c, err := Parse([]byte(doc))
 	if err != nil {
@@ -342,6 +349,9 @@ func TestHarnessOptions(t *testing.T) {
 	}
 	if opt.Obs.SampleEvery != 1000 || opt.Obs.Watchdog != 2000 || opt.Obs.MaxCycles != 3000 {
 		t.Errorf("obs mapped wrong: %+v", opt.Obs)
+	}
+	if want := (gpu.SamplePlan{Warmup: 500, Detail: 2000, FastForward: 20000}); opt.Sampling != want {
+		t.Errorf("sampling mapped wrong: %+v", opt.Sampling)
 	}
 	if opt.Obs.Deadline.IsZero() {
 		t.Error("deadline was not anchored")

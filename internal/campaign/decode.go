@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"strconv"
 	"time"
+
+	"gpummu/internal/gpu"
 )
 
 // decodeCampaign walks the tree. Unknown keys are errors: a misspelled
@@ -189,7 +191,7 @@ func decodeAxes(l []node, out *Sweep) error {
 	return nil
 }
 
-// decodeRun fills {workers, par, checkpoint}.
+// decodeRun fills {workers, par, checkpoint, sampling}.
 func decodeRun(n node, out *RunOptions) error {
 	if n == nil {
 		return nil
@@ -198,7 +200,7 @@ func decodeRun(n node, out *RunOptions) error {
 	if err != nil {
 		return err
 	}
-	if err := checkKeys(m, "run.", "workers", "par", "checkpoint"); err != nil {
+	if err := checkKeys(m, "run.", "workers", "par", "checkpoint", "sampling"); err != nil {
 		return err
 	}
 	if out.Workers, err = optInt(m, "workers", "run."); err != nil {
@@ -208,6 +210,44 @@ func decodeRun(n node, out *RunOptions) error {
 		return err
 	}
 	if out.Checkpoint, err = optBool(m, "checkpoint", "run."); err != nil {
+		return err
+	}
+	if sn, ok := m["sampling"]; ok {
+		if err := decodeSampling(sn, &out.Sampling); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// decodeSampling accepts a {warmup, detail, fastforward, warmtlb} mapping
+// or the -sampleplan flag's scalar shorthand "warmup,detail,fastforward[,warm]".
+func decodeSampling(n node, out *gpu.SamplePlan) error {
+	if s, ok := n.(string); ok { // shorthand: sampling: "1000,5000,50000"
+		p, err := gpu.ParseSamplePlan(s)
+		if err != nil {
+			return badField("run.sampling", s, "must be warmup,detail,fastforward[,warm]")
+		}
+		*out = p
+		return nil
+	}
+	m, err := wantMap(n, "run.sampling")
+	if err != nil {
+		return err
+	}
+	if err := checkKeys(m, "run.sampling.", "warmup", "detail", "fastforward", "warmtlb"); err != nil {
+		return err
+	}
+	if out.Warmup, err = optUint(m, "warmup", "run.sampling."); err != nil {
+		return err
+	}
+	if out.Detail, err = optUint(m, "detail", "run.sampling."); err != nil {
+		return err
+	}
+	if out.FastForward, err = optUint(m, "fastforward", "run.sampling."); err != nil {
+		return err
+	}
+	if out.WarmTLB, err = optBool(m, "warmtlb", "run.sampling."); err != nil {
 		return err
 	}
 	return nil

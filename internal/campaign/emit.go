@@ -92,6 +92,11 @@ func (c *Campaign) Emit() []byte {
 	w("  workers: %d\n", c.Run.Workers)
 	w("  par: %d\n", c.Run.Par)
 	w("  checkpoint: %v\n", c.Run.Checkpoint)
+	w("  sampling:\n")
+	w("    warmup: %d\n", c.Run.Sampling.Warmup)
+	w("    detail: %d\n", c.Run.Sampling.Detail)
+	w("    fastforward: %d\n", c.Run.Sampling.FastForward)
+	w("    warmtlb: %v\n", c.Run.Sampling.WarmTLB)
 
 	w("obs:\n")
 	w("  sampleEvery: %d\n", c.Obs.SampleEvery)

@@ -31,6 +31,7 @@ func (c *Campaign) HarnessOptions() (experiments.Options, error) {
 		Workers:     c.Run.Workers,
 		CoreWorkers: c.Run.Par,
 		Checkpoint:  c.Run.Checkpoint,
+		Sampling:    c.Run.Sampling,
 		Obs: experiments.ObsOptions{
 			SampleEvery: c.Obs.SampleEvery,
 			SampleDir:   c.Obs.SampleDir,

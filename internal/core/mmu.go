@@ -416,6 +416,19 @@ func (m *MMU) walkSoftware(reqAt engine.Cycle, tr vm.Translation) engine.Cycle {
 	return cur
 }
 
+// WarmFill installs vpn -> pbase into the per-core TLB without charging
+// ports, starting walks, or touching statistics. The sampled simulator uses
+// it to model the TLB residency a fast-forwarded window would have left
+// behind (internal/gpu.RunSampled). The fill is attributed to no warp, so
+// TCWS victim attribution ignores any eviction it causes. No-op when the
+// MMU is disabled.
+func (m *MMU) WarmFill(now engine.Cycle, vpn, pbase uint64) {
+	if !m.cfg.Enabled {
+		return
+	}
+	m.tlb.Fill(now, vpn, pbase, -1)
+}
+
 // Shootdown flushes the TLB (inter-processor-interrupt semantics). The
 // paper notes shootdowns essentially never fire in these workloads; the
 // mechanism exists for completeness and tests.

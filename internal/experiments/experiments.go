@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"gpummu/internal/config"
+	"gpummu/internal/gpu"
 	"gpummu/internal/stats"
 	"gpummu/internal/workloads"
 )
@@ -43,6 +44,12 @@ type Options struct {
 	// all runs sharing a workload restore from one post-build snapshot
 	// instead of rebuilding. Reports are byte-identical either way.
 	Checkpoint bool
+
+	// Sampling executes every figure run under SMARTS-style interval
+	// sampling (Executor.Sampling): absolute Cycles/Instructions totals in
+	// the rendered tables become extrapolated estimates, ratios come from
+	// the measured windows. The zero plan keeps runs exact.
+	Sampling gpu.SamplePlan
 }
 
 func (o *Options) fill() {
@@ -88,6 +95,7 @@ func New(out io.Writer, opt Options) *Harness {
 			CoreWorkers: opt.CoreWorkers,
 			Obs:         opt.Obs,
 			Checkpoint:  opt.Checkpoint,
+			Sampling:    opt.Sampling,
 		},
 	}
 }
@@ -111,7 +119,7 @@ func (h *Harness) Run(w string, cfg config.Hardware) (*stats.Sim, error) {
 	spec := h.Spec(w, cfg)
 	res, ok := h.exec.store().Get(spec)
 	if !ok {
-		h.exec.store().Put(ExecuteCk(spec, h.opt.Size, h.opt.Seed, h.opt.CoreWorkers, h.opt.Obs, h.exec.checkpointPool()))
+		h.exec.store().Put(ExecuteSampled(spec, h.opt.Size, h.opt.Seed, h.opt.CoreWorkers, h.opt.Obs, h.exec.checkpointPool(), h.exec.Sampling))
 		// Re-read so concurrent callers converge on the canonical
 		// first-published result.
 		res, _ = h.exec.store().Get(spec)

@@ -86,6 +86,13 @@ type RunResult struct {
 	Series []obs.Sample  // cycle-sampled time series; nil unless sampling was on
 	Wall   time.Duration // host wall time the simulation took
 	Err    error         // simulation or functional-check failure
+
+	// Sampled holds the interval-sampling record when the run executed
+	// under a sample plan (nil for exact runs). Stats.Cycles and
+	// Stats.Instructions are then the rounded whole-run estimates — so
+	// speedup columns extrapolate — while the remaining counters cover the
+	// measured windows only (their ratios are the sampled estimators).
+	Sampled *stats.Sampled
 }
 
 // ResultStore is a concurrency-safe map from spec key to result. Results
@@ -174,6 +181,12 @@ type Executor struct {
 	// Obs attaches samplers, watchdogs and cycle budgets to every run.
 	Obs ObsOptions
 
+	// Sampling, when enabled, executes every run under SMARTS-style
+	// interval sampling (gpu.RunSampled) instead of exact simulation.
+	// Results then carry the per-interval record in RunResult.Sampled and
+	// extrapolated Cycles/Instructions totals in RunResult.Stats.
+	Sampling gpu.SamplePlan
+
 	// Checkpoint enables checkpointed warm starts: runs acquire their
 	// workload from a snapshot.Pool keyed by build identity (workload,
 	// size, page shift, seed) — the axes a hardware sweep holds fixed
@@ -256,7 +269,7 @@ func (e *Executor) Execute(p *Plan) int {
 		go func() {
 			defer wg.Done()
 			for spec := range jobs {
-				res := ExecuteCk(spec, e.Size, e.Seed, e.CoreWorkers, e.Obs, pool)
+				res := ExecuteSampled(spec, e.Size, e.Seed, e.CoreWorkers, e.Obs, pool, e.Sampling)
 				st.Put(res)
 				e.logProgress(res, len(todo))
 			}
@@ -309,6 +322,17 @@ func ExecuteObs(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int,
 // checkpointed) otherwise — and returned to the pool once the run and its
 // functional check finish. A nil pool builds cold, exactly as before.
 func ExecuteCk(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int, ob ObsOptions, pool *snapshot.Pool) *RunResult {
+	return ExecuteSampled(spec, size, seed, coreWorkers, ob, pool, gpu.SamplePlan{})
+}
+
+// ExecuteSampled is ExecuteCk with optional SMARTS-style interval sampling:
+// a non-zero plan runs the simulation through gpu.RunSampled, attaches the
+// per-interval record to the result, and replaces Stats.Cycles and
+// Stats.Instructions with the rounded whole-run estimates (the remaining
+// counters stay as measured-window totals, whose ratios are the sampled
+// estimators). Architectural state — and therefore the functional check —
+// is exact either way. A zero plan is exactly ExecuteCk.
+func ExecuteSampled(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int, ob ObsOptions, pool *snapshot.Pool, plan gpu.SamplePlan) *RunResult {
 	res := &RunResult{Spec: spec}
 	start := time.Now()
 	defer func() { res.Wall = time.Since(start) }()
@@ -343,7 +367,18 @@ func ExecuteCk(spec RunSpec, size workloads.Size, seed uint64, coreWorkers int, 
 			g.Sampler = obs.NewSampler(ob.SampleEvery, 0)
 		}
 	}
-	_, runErr := g.Run(wl.Launch)
+	var runErr error
+	if plan.Enabled() {
+		var smp *stats.Sampled
+		_, smp, runErr = g.RunSampled(wl.Launch, plan)
+		if runErr == nil {
+			res.Sampled = smp
+			st.Cycles = uint64(smp.EstimatedCycles().Value + 0.5)
+			st.Instructions = stats.Counter(smp.EstimatedInstructions().Value + 0.5)
+		}
+	} else {
+		_, runErr = g.Run(wl.Launch)
+	}
 	if g.Sampler != nil {
 		res.Series = g.Sampler.Samples()
 		if ob.SampleDir != "" {

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"gpummu/internal/config"
+	"gpummu/internal/gpu"
+	"gpummu/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// samplePlanSmall is the validated plan for SizeSmall grids: long enough
+// fast-forward windows to engage (small grids with shorter plans degrade to
+// exact runs), short enough that the test stays quick.
+var samplePlanSmall = gpu.SamplePlan{Warmup: 1000, Detail: 4000, FastForward: 40000}
+
+// TestSampledAccuracyGate is the CI accuracy gate for interval sampling:
+// on the paper's augmented MMU the sampled estimates of the sim_cycles
+// -derived metrics (IPC and TLB miss rate) must agree with the exact run
+// within 2%, and the end-of-run memory and page-table digests must be
+// identical (fast-forward advanced architectural state exactly). Raw cycle
+// counts are deliberately not gated — correlated ramp/drain bias partially
+// cancels in the IPC ratio but not in the raw extrapolation (DESIGN.md
+// section 15). The simulator is deterministic, so the observed errors are
+// reproducible, not a statistical draw.
+func TestSampledAccuracyGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs four small-size simulations")
+	}
+	cfg := config.Baseline()
+	cfg.NumCores = 4
+	cfg.MMU = config.AugmentedMMU()
+
+	for _, w := range []string{"bfs", "memcached"} {
+		r, err := CompareSampled(w, workloads.SizeSmall, cfg, 1, 1, samplePlanSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Guard against a vacuous pass: if nothing fast-forwards the
+		// "sampled" run is the exact run and the gate tests nothing.
+		if df := r.Sampled.DetailFraction(); df >= 1 {
+			t.Errorf("%s: detail fraction %.3f — fast-forward never engaged", w, df)
+		}
+		if r.IPCErr > 0.02 {
+			t.Errorf("%s: IPC error %.2f%% exceeds 2%% (exact %.4f, est %s)",
+				w, 100*r.IPCErr, r.ExactIPC, r.EstIPC)
+		}
+		if r.MissErr > 0.02 {
+			t.Errorf("%s: TLB miss-rate error %.2f%% exceeds 2%% (exact %.4f, est %s)",
+				w, 100*r.MissErr, r.ExactMissRate, r.EstMissRate)
+		}
+		if !r.DigestMatch {
+			t.Errorf("%s: end-of-run memory/page-table digests differ from the exact run", w)
+		}
+	}
+}
+
+// TestSampledReportGolden pins two properties of the sampled report: it is
+// byte-identical for any -par core-ticking worker count, and it matches the
+// committed golden (refresh with `go test ./internal/experiments -run
+// SampledReportGolden -update`). The report excludes wall clock by design,
+// so its bytes are a pure function of the simulated runs.
+func TestSampledReportGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs six small-size simulations")
+	}
+	var want []byte
+	for _, par := range []int{1, 2, 8} {
+		var buf bytes.Buffer
+		h := New(&buf, Options{
+			Size:        workloads.SizeSmall,
+			Seed:        1,
+			Machine:     config.SmallTest,
+			Workload:    []string{"bfs"},
+			CoreWorkers: par,
+		})
+		body, err := SampledReport(h, samplePlanSmall)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par == 1 {
+			want = []byte(body)
+			continue
+		}
+		if !bytes.Equal([]byte(body), want) {
+			t.Fatalf("par=%d report diverged from par=1:\n%s\nvs\n%s", par, body, want)
+		}
+	}
+
+	golden := filepath.Join("testdata", "sampled_report.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantGolden, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(want, wantGolden) {
+		t.Errorf("sampled report drifted from golden (regenerate with -update if intended):\ngot:\n%s\nwant:\n%s", want, wantGolden)
+	}
+}

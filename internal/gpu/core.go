@@ -176,6 +176,7 @@ func (c *Core) fillBlocks() {
 		}
 		b := newBlock(c, c.g.nextBlock, slot)
 		c.g.nextBlock++
+		c.g.advanceCursor()
 		c.g.liveBlocks++
 		c.blocks = append(c.blocks, b)
 		c.liveDirty = true
@@ -193,6 +194,22 @@ func (c *Core) retireBlock(b *Block) {
 	c.liveDirty = true
 	c.g.liveBlocks--
 	c.g.retired++
+	// Retire-span bookkeeping for sampled runs: commit is serial, so this
+	// needs no synchronisation and orders identically for any Workers count.
+	n := c.g.retired - c.g.retireBase
+	if n == 1 {
+		c.g.retireFirstAt = c.g.commitCycle
+	}
+	if cap := c.g.retireCap; cap > 0 && n > cap && (n-1)%cap == 0 {
+		// Retire number j·cap+1: a wave-phase-aligned turnover boundary.
+		if c.g.retireSteadyAt == 0 {
+			c.g.retireSteadyAt = c.g.commitCycle
+		} else {
+			c.g.retireWaveAt = c.g.commitCycle
+			c.g.retireWaves++
+		}
+	}
+	c.g.retireLastAt = c.g.commitCycle
 	// Retirement always happens inside a commit phase, so commitCycle is the
 	// current clock; earlier this event carried no timestamp at all, which
 	// put every blockend at ts 0 in rendered traces.

@@ -39,6 +39,12 @@ type GPU struct {
 
 	nextBlock  int // next block id to dispatch
 	liveBlocks int
+	// ffSkip marks blocks RunSampled executed functionally; the dispatch
+	// cursor steps over them (advanceCursor). Nil outside sampled runs.
+	// Skipped ids are chosen evenly across the undispatched pool, not from
+	// its front, so the blocks that do run detailed remain an unbiased
+	// sample of the grid even when per-block cost drifts with block id.
+	ffSkip []bool
 	tracer     Tracer
 	shared     *core.SharedTLB // non-nil only with the shared-L2-TLB extension
 
@@ -98,6 +104,26 @@ type GPU struct {
 	// commitCycle is the clock value of the in-flight commit phase; block
 	// retirement reads it so EvBlockEnd events carry real timestamps.
 	commitCycle engine.Cycle
+
+	// Retire-span instrumentation for sampled runs (RunSampled). Blocks
+	// co-scheduled onto the cores retire in bursts (whole waves finish
+	// together), so the only reliable steady-state quantum is a full
+	// residency turnover: the interval between retire number cap+1 and
+	// retire number k·cap+1 spans exactly k-1 wave periods at matching wave
+	// phase, whatever the burst structure looks like inside a wave.
+	// retireSteadyAt is the cycle of retire cap+1, retireWaveAt the cycle
+	// of the latest retire j·cap+1 after it, and retireWaves counts those
+	// turnovers; (retireWaveAt-retireSteadyAt)/(retireWaves·cap) is the
+	// marginal cycles-per-block with ramp-up and first-wave burst cancelled.
+	// Updated in the serial commit phase, so all of it is deterministic for
+	// any Workers count.
+	retireFirstAt  engine.Cycle
+	retireSteadyAt engine.Cycle
+	retireWaveAt   engine.Cycle
+	retireLastAt   engine.Cycle
+	retireWaves    uint64
+	retireCap      uint64 // total resident block capacity for this launch
+	retireBase     uint64 // value of retired at reset (retired is monotonic across runs)
 }
 
 // dumpState summarises core and warp states for deadlock/runaway
@@ -181,6 +207,91 @@ func (g *GPU) mergeShards() {
 	}
 }
 
+// runState carries one launch's loop state between detailed segments, so
+// Run can execute the whole launch in one runLoop call while RunSampled
+// alternates bounded runLoop segments with functional fast-forward windows.
+type runState struct {
+	pool *corePool
+	now  engine.Cycle
+	done bool // all blocks dispatched and drained
+
+	// Watchdog state: progressAt is the last cycle a thread block retired.
+	watchRetired uint64
+	progressAt   engine.Cycle
+	nextProgress engine.Cycle
+}
+
+// advanceCursor steps the dispatch cursor over blocks fast-forward already
+// executed, maintaining the invariant that nextBlock < Grid implies
+// nextBlock is dispatchable. Called wherever the cursor moves; a no-op
+// outside sampled runs.
+func (g *GPU) advanceCursor() {
+	if g.ffSkip == nil {
+		return
+	}
+	for g.nextBlock < g.launch.Grid && g.ffSkip[g.nextBlock] {
+		g.nextBlock++
+	}
+}
+
+// beginRun validates the launch, resets and fills the cores, and starts the
+// parallel tick pool. Every successful beginRun must be paired with a
+// deferred endRun.
+func (g *GPU) beginRun(l *kernels.Launch) (*runState, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	g.launch = l
+	g.nextBlock = 0
+	g.liveBlocks = 0
+	g.retireBase = g.retired
+	g.retireFirstAt, g.retireSteadyAt, g.retireWaveAt, g.retireLastAt = 0, 0, 0, 0
+	g.retireWaves = 0
+	g.retireCap = 0
+	for _, c := range g.cores {
+		c.reset()
+		g.retireCap += uint64(c.capacityBlocks())
+	}
+	// Initial block dispatch.
+	for _, c := range g.cores {
+		c.fillBlocks()
+	}
+
+	rs := &runState{}
+	if w := g.Workers; w > 1 {
+		if w > len(g.cores) {
+			w = len(g.cores)
+		}
+		if w > 1 {
+			// The functional translator memoises walks in a shared map that
+			// parallel compute phases read; walking the whole page table now
+			// makes that cache read-only for the rest of the run.
+			g.tr.Prewarm()
+			rs.pool = newCorePool(g, w)
+		}
+	}
+
+	if g.Sampler != nil {
+		g.Sampler.Reset()
+	}
+	rs.watchRetired = g.retired
+	rs.nextProgress = engine.Cycle(noEvent)
+	if g.Progress != nil {
+		rs.nextProgress = engine.Cycle(g.progressEvery())
+	}
+	return rs, nil
+}
+
+// endRun releases the tick pool and folds the per-core statistics shards
+// into the global sink. Deferred by Run and RunSampled so shards merge even
+// on aborted runs, exactly as the pre-refactor defers did.
+func (g *GPU) endRun(rs *runState) {
+	if rs.pool != nil {
+		rs.pool.stop()
+	}
+	g.mergeShards()
+}
+
 // Run executes one kernel launch to completion and returns the total cycle
 // count. It errs on invalid launches and on deadlock (which indicates a
 // malformed kernel, e.g. a barrier inside divergent control flow).
@@ -192,51 +303,41 @@ func (g *GPU) mergeShards() {
 // same order the shared structures observed under single-phase ticking, so
 // simulation output is byte-identical for any Workers value.
 func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
-	if err := l.Validate(); err != nil {
+	rs, err := g.beginRun(l)
+	if err != nil {
 		return 0, err
 	}
-	g.launch = l
-	g.nextBlock = 0
-	g.liveBlocks = 0
-	for _, c := range g.cores {
-		c.reset()
+	defer g.endRun(rs)
+	if err := g.runLoop(rs, noEvent); err != nil {
+		return uint64(rs.now), err
 	}
-	// Initial block dispatch.
-	for _, c := range g.cores {
-		c.fillBlocks()
-	}
-	defer g.mergeShards()
+	return uint64(rs.now), g.finishRun(rs)
+}
 
-	var pool *corePool
-	if w := g.Workers; w > 1 {
-		if w > len(g.cores) {
-			w = len(g.cores)
-		}
-		if w > 1 {
-			// The functional translator memoises walks in a shared map that
-			// parallel compute phases read; walking the whole page table now
-			// makes that cache read-only for the rest of the run.
-			g.tr.Prewarm()
-			pool = newCorePool(g, w)
-			defer pool.stop()
-		}
-	}
-
-	if g.Sampler != nil {
-		g.Sampler.Reset()
-	}
-	// Watchdog state: progressAt is the last cycle a thread block retired.
-	watchRetired := g.retired
-	progressAt := engine.Cycle(0)
-	nextProgress := engine.Cycle(noEvent)
-	if g.Progress != nil {
-		nextProgress = engine.Cycle(g.progressEvery())
-	}
-
-	now := engine.Cycle(0)
+// runLoop advances the detailed timing model until the launch drains or the
+// clock reaches `until` (noEvent means run to completion). It is resumable:
+// RunSampled calls it with successive bounds, fast-forwarding between calls.
+// The stopping cycle is a pure function of simulation state, so segmented
+// execution stays byte-identical for any Workers count.
+func (g *GPU) runLoop(rs *runState, until engine.Cycle) error {
+	l := g.launch
+	pool := rs.pool
+	watchRetired := rs.watchRetired
+	progressAt := rs.progressAt
+	nextProgress := rs.nextProgress
+	now := rs.now
+	defer func() {
+		rs.watchRetired = watchRetired
+		rs.progressAt = progressAt
+		rs.nextProgress = nextProgress
+		rs.now = now
+	}()
 	for g.liveBlocks > 0 || g.nextBlock < l.Grid {
+		if now >= until {
+			return nil
+		}
 		if g.MaxCycles != 0 && uint64(now) > g.MaxCycles {
-			return uint64(now), g.abort(obs.ErrMaxCycles, now, fmt.Sprintf("MaxCycles=%d", g.MaxCycles))
+			return g.abort(obs.ErrMaxCycles, now, fmt.Sprintf("MaxCycles=%d", g.MaxCycles))
 		}
 		// Compute phase: core-private work only.
 		if pool != nil {
@@ -318,14 +419,14 @@ func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 			break
 		}
 		if next == noEvent {
-			return uint64(now), g.abort(obs.ErrDeadlock, now, fmt.Sprintf("%d live blocks", g.liveBlocks))
+			return g.abort(obs.ErrDeadlock, now, fmt.Sprintf("%d live blocks", g.liveBlocks))
 		}
 		if g.WatchdogWindow != 0 {
 			if g.retired != watchRetired {
 				watchRetired = g.retired
 				progressAt = now
 			} else if uint64(now-progressAt) > g.WatchdogWindow {
-				return uint64(now), g.abort(obs.ErrLivelock, now, fmt.Sprintf("window=%d last-progress=%d", g.WatchdogWindow, progressAt))
+				return g.abort(obs.ErrLivelock, now, fmt.Sprintf("window=%d last-progress=%d", g.WatchdogWindow, progressAt))
 			}
 		}
 		if next <= now {
@@ -349,18 +450,18 @@ func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 			// The wall-clock guards piggyback on the same cadence so the hot
 			// loop never touches the host clock or the context directly.
 			if !g.Deadline.IsZero() && time.Now().After(g.Deadline) {
-				return uint64(now), g.abort(obs.ErrDeadline, now, g.Deadline.Format(time.RFC3339))
+				return g.abort(obs.ErrDeadline, now, g.Deadline.Format(time.RFC3339))
 			}
 			if g.Ctx != nil {
 				if err := g.Ctx.Err(); err != nil {
-					return uint64(now), g.abort(err, now, "context cancelled")
+					return g.abort(err, now, "context cancelled")
 				}
 			}
 			// The invariant checker shares the cadence too: commits have
 			// settled, so it sees a consistent cycle-now snapshot.
 			if g.Invariants {
 				if err := g.checkInvariants(now); err != nil {
-					return uint64(now), g.abort(obs.ErrInvariant, now, err.Error())
+					return g.abort(obs.ErrInvariant, now, err.Error())
 				}
 			}
 		}
@@ -370,18 +471,25 @@ func (g *GPU) Run(l *kernels.Launch) (uint64, error) {
 		}
 		now = next
 	}
-	// Final invariant audit: short kernels may never reach a prune boundary,
-	// and end-of-run state (all blocks retired, TLBs still populated) must
-	// also be well-formed.
+	rs.done = true
+	return nil
+}
+
+// finishRun runs the end-of-launch audits once the loop has drained: the
+// final invariant check (short kernels may never reach a prune boundary,
+// and end-of-run state — all blocks retired, TLBs still populated — must
+// also be well-formed), the forced final sampler row (its cumulative
+// columns equal the run's report), and the cycle total.
+func (g *GPU) finishRun(rs *runState) error {
+	now := rs.now
 	if g.Invariants {
 		if err := g.checkInvariants(now); err != nil {
-			return uint64(now), g.abort(obs.ErrInvariant, now, err.Error())
+			return g.abort(obs.ErrInvariant, now, err.Error())
 		}
 	}
 	if g.Sampler != nil {
-		// Forced final row: its cumulative columns equal the run's report.
 		g.sample(now)
 	}
 	g.st.Cycles = uint64(now)
-	return uint64(now), nil
+	return nil
 }

@@ -1,0 +1,118 @@
+package ref
+
+import (
+	"fmt"
+
+	"gpummu/internal/kernels"
+	"gpummu/internal/vm"
+)
+
+// Touch records one distinct page a fast-forwarded block referenced: the
+// virtual page number at the address space's page granularity and the
+// physical base it translates to. The sampled simulator replays touches
+// into the TLBs so a fast-forward window leaves the translation hierarchy
+// warm, the way the skipped blocks would have.
+type Touch struct {
+	VPN   uint64
+	PBase uint64
+}
+
+// BlockInterp executes individual thread blocks of one launch functionally,
+// thread by thread, with no timing. It is the fast-forward engine of the
+// sampled simulator (internal/gpu.RunSampled): architectural state — memory
+// contents, page tables — advances exactly as the timing model would have
+// advanced it, because the workload kernels are communication-free (loads
+// from read-only data, stores to thread-exclusive slots), so any execution
+// order of whole blocks yields the same memory image.
+//
+// The interpreter shares its per-4KB translation memo across blocks (the
+// reference walker is pure, so caching walks cannot change results) and
+// records the distinct pages each window touched for TLB warming.
+type BlockInterp struct {
+	x         *interp
+	pageShift uint
+	pageMask  uint64
+	seen      map[uint64]struct{}
+	touched   []Touch
+}
+
+// NewBlockInterp builds a block-level functional interpreter for l over as.
+// warpWidth feeds the SpecLane/SpecWarp special registers; pageShift sets
+// the granularity at which touches are recorded (the hardware page shift,
+// so touches map 1:1 onto TLB entries).
+func NewBlockInterp(as *vm.AddressSpace, l *kernels.Launch, warpWidth int, pageShift uint) (*BlockInterp, error) {
+	if err := l.Validate(); err != nil {
+		return nil, fmt.Errorf("ref: %w", err)
+	}
+	if warpWidth < 1 {
+		return nil, fmt.Errorf("ref: warp width %d < 1", warpWidth)
+	}
+	if pageShift < refShift4K {
+		return nil, fmt.Errorf("ref: page shift %d < %d", pageShift, refShift4K)
+	}
+	b := &BlockInterp{
+		x: &interp{
+			as:        as,
+			cr3:       as.PT.CR3(),
+			prog:      l.Program.Code,
+			launch:    l,
+			warpWidth: warpWidth,
+			memo:      make(map[uint64]*memoPage),
+			// Epoch 0 is the "never touched" marker on memo entries, so the
+			// live window starts at 1.
+			epoch: 1,
+		},
+		pageShift: pageShift,
+		pageMask:  uint64(1)<<pageShift - 1,
+		seen:      make(map[uint64]struct{}),
+	}
+	b.x.touch = b.recordTouch
+	return b, nil
+}
+
+// DisableTouch turns off page-touch recording (used when the sampled run
+// does not replay touches into the TLBs, saving the bookkeeping per access).
+func (b *BlockInterp) DisableTouch() {
+	b.x.touch = nil
+}
+
+func (b *BlockInterp) recordTouch(va, pa uint64) {
+	vpn := va >> b.pageShift
+	if _, ok := b.seen[vpn]; ok {
+		return
+	}
+	b.seen[vpn] = struct{}{}
+	b.touched = append(b.touched, Touch{VPN: vpn, PBase: pa &^ b.pageMask})
+}
+
+// ExecuteBlock runs every thread of block blockID sequentially to exit and
+// returns the number of instructions interpreted. maxStepsPerThread bounds
+// each thread so malformed programs error out instead of spinning.
+func (b *BlockInterp) ExecuteBlock(blockID int, maxStepsPerThread uint64) (uint64, error) {
+	l := b.x.launch
+	if blockID < 0 || blockID >= l.Grid {
+		return 0, fmt.Errorf("ref: block %d outside grid %d", blockID, l.Grid)
+	}
+	var steps uint64
+	for btid := 0; btid < l.BlockDim; btid++ {
+		_, n, err := b.x.runThread(blockID, btid, maxStepsPerThread)
+		steps += n
+		if err != nil {
+			return steps, fmt.Errorf("ref: block %d btid %d: %w", blockID, btid, err)
+		}
+	}
+	return steps, nil
+}
+
+// DrainTouched returns the pages touched since the last drain, in
+// first-touch order, and resets the touch window. Order is deterministic:
+// it depends only on block ids and thread order, never on host scheduling.
+func (b *BlockInterp) DrainTouched() []Touch {
+	t := b.touched
+	b.touched = nil
+	clear(b.seen)
+	// Advancing the epoch invalidates the per-region "already reported"
+	// marks without walking the memo.
+	b.x.epoch++
+	return t
+}

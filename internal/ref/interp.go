@@ -1,6 +1,7 @@
 package ref
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"gpummu/internal/kernels"
@@ -28,12 +29,42 @@ type interp struct {
 	prog      []kernels.Instr
 	launch    *kernels.Launch
 	warpWidth int
-	memo      map[uint64]memoPage
+	memo      map[uint64]*memoPage
+	// front is a small direct-mapped cache over memo, indexed by low bits of
+	// the 4 KB virtual page number; most accesses hit here without touching
+	// the map at all.
+	front [frontEntries]frontSlot
+	// touch, when non-nil, observes the first data access to each 4 KB
+	// virtual region per epoch (the BlockInterp uses it to record which
+	// pages a fast-forwarded window referenced, so the sampled simulator can
+	// keep TLBs warm). epoch advances when the touch window is drained.
+	touch func(va, pa uint64)
+	epoch uint64
 }
 
+const frontEntries = 256
+
+type frontSlot struct {
+	key uint64
+	p   *memoPage
+}
+
+// memoPage caches everything one 4 KB virtual region needs for functional
+// access: its translation, a direct pointer into the backing physical page,
+// and the touch epoch that last observed it. data is nil while the physical
+// page has never been written — loads then read as zero without
+// materialising it (materialising on a load would change BackedPages and
+// the memory digest) — and is filled in by the first store through this
+// region. A nil data can go stale if something else materialises the page
+// mid-run; that is harmless for value correctness because the workload
+// kernels are communication-free, so a region another block stores to is
+// never a region this interpreter loads data from.
 type memoPage struct {
-	base  uint64 // physical base of the containing 4 KB region
-	fault bool
+	base     uint64 // physical base of the containing 4 KB region
+	fault    bool
+	data     []byte // backing page bytes, nil while unmaterialised
+	writable bool   // data was obtained via MutablePageBytes (dirty bit set)
+	epoch    uint64 // last touch epoch that reported this region
 }
 
 // Execute runs the launch to completion in the reference model: each thread
@@ -58,7 +89,7 @@ func Execute(as *vm.AddressSpace, l *kernels.Launch, warpWidth int, maxStepsPerT
 		prog:      l.Program.Code,
 		launch:    l,
 		warpWidth: warpWidth,
-		memo:      make(map[uint64]memoPage),
+		memo:      make(map[uint64]*memoPage),
 	}
 	res := &Result{RegDigests: make([]uint64, l.Grid*l.BlockDim)}
 	for blockID := 0; blockID < l.Grid; blockID++ {
@@ -83,24 +114,30 @@ func regDigest(regs *[kernels.NumRegs]uint64) uint64 {
 	return h
 }
 
-// translate resolves va through the reference walker, memoised per 4 KB
-// region (which is exact for both 4 KB and 2 MB leaves: a 2 MB page's
-// regions all land on the same physical offsets).
-func (x *interp) translate(va uint64) (uint64, error) {
+// region resolves the 4 KB virtual region holding va to its memo entry,
+// walking the reference page table on first sight (memoising per 4 KB
+// region is exact for both 4 KB and 2 MB leaves: a 2 MB page's regions all
+// land on the same physical offsets). The direct-mapped front cache makes
+// the common case — revisiting a recently used region — map-free.
+func (x *interp) region(va uint64) *memoPage {
 	key := va >> refShift4K
+	slot := &x.front[key%frontEntries]
+	if slot.p != nil && slot.key == key {
+		return slot.p
+	}
 	m, cached := x.memo[key]
 	if !cached {
+		m = &memoPage{}
 		w := WalkPage(x.as.Mem, x.cr3, va)
-		m = memoPage{fault: w.Fault}
+		m.fault = w.Fault
 		if !w.Fault {
 			m.base = w.PA &^ (uint64(1)<<refShift4K - 1)
+			m.data = x.as.Mem.PageBytes(m.base)
 		}
 		x.memo[key] = m
 	}
-	if m.fault {
-		return 0, fmt.Errorf("page fault at va %#x", va)
-	}
-	return m.base | va&(uint64(1)<<refShift4K-1), nil
+	slot.key, slot.p = key, m
+	return m
 }
 
 // special mirrors the special-register semantics of the timing simulator
@@ -254,8 +291,9 @@ func (x *interp) alu(blockID, btid int, regs *[kernels.NumRegs]uint64, in *kerne
 	return 0, fmt.Errorf("unknown ALU op %d", in.Op)
 }
 
-// memAccess performs one functional load or store through the reference
-// walker. Misaligned accesses are errors (the simulated physical memory
+// memAccess performs one functional load or store through the memoised
+// reference translation, reading and writing the backing page bytes
+// directly. Misaligned accesses are errors (the simulated physical memory
 // would panic on them); faults are errors too, so the oracle never panics on
 // adversarial programs.
 func (x *interp) memAccess(regs *[kernels.NumRegs]uint64, in *kernels.Instr) error {
@@ -263,31 +301,44 @@ func (x *interp) memAccess(regs *[kernels.NumRegs]uint64, in *kernels.Instr) err
 	if va%uint64(in.Size) != 0 {
 		return fmt.Errorf("misaligned %d-byte access at va %#x", in.Size, va)
 	}
-	pa, err := x.translate(va)
-	if err != nil {
-		return err
+	p := x.region(va)
+	if p.fault {
+		return fmt.Errorf("page fault at va %#x", va)
 	}
-	m := x.as.Mem
+	off := va & (uint64(1)<<refShift4K - 1)
+	if x.touch != nil && p.epoch != x.epoch {
+		p.epoch = x.epoch
+		x.touch(va, p.base|off)
+	}
 	if in.Kind == kernels.KindStore {
+		if !p.writable {
+			// First store through this region: re-fetch the page through
+			// PhysMem so it is materialised and its dirty bit is set for
+			// snapshot diffing (a cached read-only view skips both).
+			p.data = x.as.Mem.MutablePageBytes(p.base)
+			p.writable = true
+		}
 		v := regs[in.B]
 		switch in.Size {
 		case 1:
-			m.WriteU8(pa, byte(v))
+			p.data[off] = byte(v)
 		case 4:
-			m.Write32(pa, uint32(v))
+			binary.LittleEndian.PutUint32(p.data[off:off+4], uint32(v))
 		default:
-			m.Write64(pa, v)
+			binary.LittleEndian.PutUint64(p.data[off:off+8], v)
 		}
 		return nil
 	}
 	var v uint64
-	switch in.Size {
-	case 1:
-		v = uint64(m.ReadU8(pa))
-	case 4:
-		v = uint64(m.Read32(pa))
-	default:
-		v = m.Read64(pa)
+	if p.data != nil {
+		switch in.Size {
+		case 1:
+			v = uint64(p.data[off])
+		case 4:
+			v = uint64(binary.LittleEndian.Uint32(p.data[off : off+4]))
+		default:
+			v = binary.LittleEndian.Uint64(p.data[off : off+8])
+		}
 	}
 	regs[in.Dst] = v
 	return nil

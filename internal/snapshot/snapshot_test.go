@@ -196,9 +196,20 @@ func TestPoolAccounting(t *testing.T) {
 
 // TestPoolConcurrentAcquire hammers one key from many goroutines (the
 // executor's -j worker pool does exactly this) — run under -race via
-// tools/ci.sh. Every acquisition must be served, and served instances must
-// be disjoint while held.
+// tools/ci.sh. Every acquisition must be served, served instances must be
+// disjoint while held, and every instance handed out must carry the
+// byte-identical pristine memory image — each goroutine scribbles over its
+// instance before releasing, so any restore shortfall (or cross-goroutine
+// sharing) shows up as a fingerprint mismatch on a later acquisition.
 func TestPoolConcurrentAcquire(t *testing.T) {
+	// The oracle: a fresh build with the same identity. Builds are
+	// deterministic, so every restored instance must fingerprint the same.
+	pristine, err := workloads.Build("pointerchase", workloads.SizeTiny, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := memFingerprint(pristine)
+
 	p := NewPool()
 	const goroutines, rounds = 8, 5
 
@@ -223,8 +234,11 @@ func TestPoolConcurrentAcquire(t *testing.T) {
 				held[w] = true
 				mu.Unlock()
 
+				if got := memFingerprint(w); got != want {
+					t.Errorf("acquired instance image %x, pristine %x", got, want)
+				}
 				// Dirty the instance so the next restore has work to do.
-				w.AS.Write64(0x0000_5C00_0000_0000, uint64(r))
+				w.AS.Write64(0x0000_5C00_0000_0000, uint64(r)+1)
 
 				mu.Lock()
 				held[w] = false

@@ -1,0 +1,281 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// This file holds the statistics side of SMARTS-style interval sampling
+// (internal/gpu.RunSampled): per-interval measurement snapshots, the
+// extrapolated run totals, and CLT-based 95% confidence intervals on the
+// headline metrics. The sampling design — which cycles run detailed and
+// which fast-forward functionally — lives in internal/gpu; this package
+// only turns the recorded intervals into estimates with error bars.
+
+// Interval is the measurement of one detailed window, recorded after the
+// warmup portion of the window has drained transient state. All counter
+// fields are deltas over the measured portion only. FFBlocks/FFInstructions
+// describe the fast-forward that followed this window (zero for the final
+// interval, which runs detailed to completion).
+type Interval struct {
+	Start          uint64 // detailed cycle at which measurement began
+	Cycles         uint64 // detailed cycles measured
+	Instructions   uint64
+	TLBAccesses    uint64
+	TLBMisses      uint64
+	Walks          uint64
+	WalkLatEvents  uint64
+	WalkLatTotal   uint64
+	Blocks         uint64 // thread blocks retired during the window
+	FFBlocks       uint64 // blocks fast-forwarded after the window
+	FFInstructions uint64 // instructions executed functionally in that fast-forward
+}
+
+// Metric is a sampled estimate with a 95% confidence half-width, rendered
+// as "value ± ci". A zero CI with fewer than two intervals means "no
+// variance estimate", not "exact".
+type Metric struct {
+	Value float64
+	CI    float64
+}
+
+// String renders the estimate as "value ± ci".
+func (m Metric) String() string {
+	return fmt.Sprintf("%.4g ± %.2g", m.Value, m.CI)
+}
+
+// RelErr returns |Value-exact|/exact, or 0 when exact is 0 — the
+// sampled-vs-exact accuracy number the bench harness and CI gate report.
+func (m Metric) RelErr(exact float64) float64 {
+	if exact == 0 {
+		return 0
+	}
+	return math.Abs(m.Value-exact) / math.Abs(exact)
+}
+
+// Sampled aggregates one sampled run: the plan that produced it, the
+// per-interval measurements, and the split between detailed and
+// fast-forwarded work. Architectural state is exact; timing totals (cycle
+// and warp-instruction counts) are extrapolated from the measured windows'
+// per-retired-block rates, with CLT confidence intervals. FFInstructions
+// counts functionally executed thread-level steps — an exact work count,
+// but a different unit from the timing model's warp-level Instructions.
+type Sampled struct {
+	Warmup      uint64 // plan: unmeasured detailed cycles per interval
+	Detail      uint64 // plan: measured detailed cycles per interval
+	FastForward uint64 // plan: cycles-worth of work skipped per interval
+
+	Intervals []Interval
+
+	DetailCycles       uint64 // cycles the timing model actually simulated (== Sim.Cycles)
+	DetailInstructions uint64 // instructions executed by the timing model
+	FFInstructions     uint64 // instructions executed functionally
+	FFBlocks           uint64 // thread blocks fast-forwarded
+	TotalBlocks        uint64 // grid size
+
+	// RetireSpanCycles/RetireSpanBlocks describe the marginal steady-state
+	// retire rate of the detailed portion: the cycles between the first and
+	// last block retirement, and the blocks retired in that span excluding
+	// the first wave (blocks retiring at the first retire cycle). Their
+	// ratio is the per-block cycle cost with pipeline ramp-up and drain
+	// cancelled — both appear once in DetailCycles and once in an exact run,
+	// so the skipped blocks must be charged only their marginal cost.
+	RetireSpanCycles uint64
+	RetireSpanBlocks uint64
+}
+
+// chunkRates collapses the measured intervals into per-block rates robust
+// to bursty retirement: blocks launched together retire in waves, so a
+// single detail window usually sees either zero retires or a whole wave,
+// and its raw counter/Blocks ratio is meaningless. Consecutive intervals
+// are accumulated until one retires a block, then the chunk's pooled ratio
+// is emitted. The first chunk is dropped — it absorbs pipeline ramp-up and
+// would bias the spread. The result feeds the CLT confidence interval; the
+// point estimates come from the exact retire span instead.
+func (s *Sampled) chunkRates(counter func(*Interval) uint64) []float64 {
+	var rates []float64
+	var csum, bsum uint64
+	first := true
+	for i := range s.Intervals {
+		iv := &s.Intervals[i]
+		csum += counter(iv)
+		bsum += iv.Blocks
+		if iv.Blocks > 0 {
+			if !first {
+				rates = append(rates, float64(csum)/float64(bsum))
+			}
+			first = false
+			csum, bsum = 0, 0
+		}
+	}
+	return rates
+}
+
+// ffCI returns the 95% half-width on the extrapolated fast-forward cost in
+// some counter: FFBlocks times the CLT half-width of the chunked per-block
+// rates.
+func (s *Sampled) ffCI(counter func(*Interval) uint64) float64 {
+	_, ci := meanCI95(s.chunkRates(counter))
+	return float64(s.FFBlocks) * ci
+}
+
+// ratioMetric builds a Metric whose point estimate is the ratio of summed
+// numerators to summed denominators over the measured intervals (weighting
+// each interval by its denominator), with the CI taken from the spread of
+// the per-interval ratios under the CLT.
+func (s *Sampled) ratioMetric(num, den func(*Interval) uint64) Metric {
+	var nsum, dsum uint64
+	var ratios []float64
+	for i := range s.Intervals {
+		iv := &s.Intervals[i]
+		n, d := num(iv), den(iv)
+		nsum += n
+		dsum += d
+		if d > 0 {
+			ratios = append(ratios, float64(n)/float64(d))
+		}
+	}
+	if dsum == 0 {
+		return Metric{}
+	}
+	_, ci := meanCI95(ratios)
+	return Metric{Value: float64(nsum) / float64(dsum), CI: ci}
+}
+
+// EstimatedCycles extrapolates the whole-run cycle count: the cycles the
+// timing model actually simulated, plus FFBlocks times the marginal
+// per-block cycle cost from the retire span — the cycles the skipped
+// blocks would have cost at the machine's steady-state throughput. Ramp-up
+// and drain are already paid once inside DetailCycles, exactly as an exact
+// run pays them. With nothing fast-forwarded the estimate is the exact
+// cycle count with a zero half-width.
+func (s *Sampled) EstimatedCycles() Metric {
+	if s.FFBlocks == 0 || s.RetireSpanBlocks == 0 {
+		return Metric{Value: float64(s.DetailCycles)}
+	}
+	cpb := float64(s.RetireSpanCycles) / float64(s.RetireSpanBlocks)
+	return Metric{
+		Value: float64(s.DetailCycles) + float64(s.FFBlocks)*cpb,
+		CI:    s.ffCI(func(iv *Interval) uint64 { return iv.Cycles }),
+	}
+}
+
+// EstimatedInstructions extrapolates the whole-run warp-level instruction
+// count. Every warp instruction the timing model executes belongs to a
+// block that retires in the detailed portion, so DetailInstructions divided
+// by the detailed block count is an unbiased per-block cost with no
+// ramp/drain term; the skipped blocks are charged that average.
+// (FFInstructions counts functional thread-level steps — a different unit —
+// so it cannot be used directly.)
+func (s *Sampled) EstimatedInstructions() Metric {
+	detailBlocks := s.TotalBlocks - s.FFBlocks
+	if s.FFBlocks == 0 || detailBlocks == 0 {
+		return Metric{Value: float64(s.DetailInstructions)}
+	}
+	ipb := float64(s.DetailInstructions) / float64(detailBlocks)
+	return Metric{
+		Value: float64(s.DetailInstructions) + float64(s.FFBlocks)*ipb,
+		CI:    s.ffCI(func(iv *Interval) uint64 { return iv.Instructions }),
+	}
+}
+
+// IPC estimates whole-run instructions per cycle as the ratio of the two
+// extrapolated totals, the same sim_cycles-derived definition an exact run
+// reports (Instructions/Cycles). The half-width is first-order and
+// conservative: the relative errors of numerator and denominator add.
+func (s *Sampled) IPC() Metric {
+	c := s.EstimatedCycles()
+	i := s.EstimatedInstructions()
+	if c.Value == 0 {
+		return Metric{}
+	}
+	v := i.Value / c.Value
+	var rel float64
+	if i.Value > 0 {
+		rel += i.CI / i.Value
+	}
+	rel += c.CI / c.Value
+	return Metric{Value: v, CI: v * rel}
+}
+
+// TLBMissRate estimates the TLB miss rate with a 95% CI.
+func (s *Sampled) TLBMissRate() Metric {
+	return s.ratioMetric(
+		func(iv *Interval) uint64 { return iv.TLBMisses },
+		func(iv *Interval) uint64 { return iv.TLBAccesses })
+}
+
+// WalkLatency estimates the mean page-table-walk latency (cycles) with a
+// 95% CI.
+func (s *Sampled) WalkLatency() Metric {
+	return s.ratioMetric(
+		func(iv *Interval) uint64 { return iv.WalkLatTotal },
+		func(iv *Interval) uint64 { return iv.WalkLatEvents })
+}
+
+// DetailFraction returns the fraction of the grid's thread blocks that ran
+// through the timing model — the knob that trades accuracy for speed.
+func (s *Sampled) DetailFraction() float64 {
+	if s.TotalBlocks == 0 {
+		return 0
+	}
+	return float64(s.TotalBlocks-s.FFBlocks) / float64(s.TotalBlocks)
+}
+
+// Summary renders the sampled estimates as a compact multi-line report.
+// Everything here is a pure function of the recorded intervals, so the
+// output is byte-identical for any host parallelism.
+func (s *Sampled) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sampled: plan warmup=%d detail=%d fastforward=%d intervals=%d\n",
+		s.Warmup, s.Detail, s.FastForward, len(s.Intervals))
+	fmt.Fprintf(&b, "sampled: detailed %d cycles / %d warp instrs, fast-forwarded %d/%d blocks (%d thread instrs, detail fraction %.3f)\n",
+		s.DetailCycles, s.DetailInstructions, s.FFBlocks, s.TotalBlocks, s.FFInstructions, s.DetailFraction())
+	fmt.Fprintf(&b, "sampled: est_cycles=%s ipc=%s tlb_missrate=%s walk_lat=%s\n",
+		s.EstimatedCycles(), s.IPC(), s.TLBMissRate(), s.WalkLatency())
+	return b.String()
+}
+
+// meanCI95 returns the mean of xs and its 95% confidence half-width under
+// the CLT, using the Student-t quantile for the small interval counts
+// sampling produces. Fewer than two values have no variance estimate and
+// report a zero half-width.
+func meanCI95(xs []float64) (mean, ci float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(n)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	return mean, tCrit95(n-1) * sd / math.Sqrt(float64(n))
+}
+
+// t975 holds the two-sided 95% Student-t critical values for 1..30 degrees
+// of freedom; larger samples use the normal quantile 1.96.
+var t975 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+func tCrit95(df int) float64 {
+	if df < 1 {
+		return 0
+	}
+	if df <= len(t975) {
+		return t975[df-1]
+	}
+	return 1.96
+}

@@ -1,0 +1,302 @@
+package stats
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", name, got, want, tol)
+	}
+}
+
+func TestMetricString(t *testing.T) {
+	m := Metric{Value: 1.23456, CI: 0.042}
+	if got := m.String(); got != "1.235 ± 0.042" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestMetricRelErr(t *testing.T) {
+	m := Metric{Value: 110}
+	approx(t, "RelErr(100)", m.RelErr(100), 0.10, 1e-12)
+	approx(t, "RelErr(-100)", m.RelErr(-100), 2.10, 1e-12)
+	if got := m.RelErr(0); got != 0 {
+		t.Errorf("RelErr(0) = %g, want 0", got)
+	}
+}
+
+// sampledFixture is a hand-checkable sampled run: five measured intervals,
+// bursty retirement (one interval retires nothing), 10 of 20 blocks
+// fast-forwarded, and a retire span giving a marginal cost of 50
+// cycles/block.
+func sampledFixture() *Sampled {
+	return &Sampled{
+		Warmup:      10,
+		Detail:      100,
+		FastForward: 1000,
+		Intervals: []Interval{
+			// First retiring chunk — dropped by chunkRates (ramp-up).
+			{Cycles: 100, Instructions: 300, Blocks: 2,
+				TLBAccesses: 100, TLBMisses: 10, WalkLatEvents: 10, WalkLatTotal: 500},
+			// Zero-retire interval pools into the next chunk.
+			{Cycles: 110, Instructions: 310, Blocks: 0,
+				TLBAccesses: 200, TLBMisses: 40, WalkLatEvents: 30, WalkLatTotal: 1200},
+			{Cycles: 90, Instructions: 290, Blocks: 2},
+			{Cycles: 120, Instructions: 360, Blocks: 2},
+			{Cycles: 80, Instructions: 240, Blocks: 2},
+		},
+		DetailCycles:       1000,
+		DetailInstructions: 2000,
+		FFInstructions:     5000,
+		FFBlocks:           10,
+		TotalBlocks:        20,
+		RetireSpanCycles:   400,
+		RetireSpanBlocks:   8,
+	}
+}
+
+func TestEstimatedCycles(t *testing.T) {
+	s := sampledFixture()
+	m := s.EstimatedCycles()
+	// 1000 detailed + 10 skipped blocks * (400/8) marginal cycles each.
+	approx(t, "EstimatedCycles.Value", m.Value, 1500, 1e-9)
+
+	// CI from the chunked per-block cycle rates. The first chunk (ramp-up)
+	// is dropped; the remaining chunks are (110+90)/2=100, 120/2=60, 80/2=40.
+	rates := []float64{100, 60, 40}
+	mean := (rates[0] + rates[1] + rates[2]) / 3
+	var ss float64
+	for _, r := range rates {
+		ss += (r - mean) * (r - mean)
+	}
+	sd := math.Sqrt(ss / 2)
+	wantCI := float64(s.FFBlocks) * t975[1] * sd / math.Sqrt(3)
+	approx(t, "EstimatedCycles.CI", m.CI, wantCI, 1e-9)
+}
+
+func TestEstimatedCyclesDegenerate(t *testing.T) {
+	s := sampledFixture()
+	s.FFBlocks = 0
+	if m := s.EstimatedCycles(); m.Value != 1000 || m.CI != 0 {
+		t.Errorf("FFBlocks=0: %+v, want exact {1000 0}", m)
+	}
+	s = sampledFixture()
+	s.RetireSpanBlocks = 0
+	if m := s.EstimatedCycles(); m.Value != 1000 || m.CI != 0 {
+		t.Errorf("RetireSpanBlocks=0: %+v, want exact {1000 0}", m)
+	}
+}
+
+func TestEstimatedInstructions(t *testing.T) {
+	s := sampledFixture()
+	m := s.EstimatedInstructions()
+	// 2000 detailed + 10 skipped blocks * (2000/10) per detailed block.
+	approx(t, "EstimatedInstructions.Value", m.Value, 4000, 1e-9)
+	if m.CI <= 0 {
+		t.Errorf("EstimatedInstructions.CI = %g, want > 0", m.CI)
+	}
+
+	s.FFBlocks = 0
+	if m := s.EstimatedInstructions(); m.Value != 2000 || m.CI != 0 {
+		t.Errorf("FFBlocks=0: %+v, want exact {2000 0}", m)
+	}
+	s = sampledFixture()
+	s.FFBlocks = s.TotalBlocks // no detailed blocks at all
+	if m := s.EstimatedInstructions(); m.Value != 2000 || m.CI != 0 {
+		t.Errorf("detailBlocks=0: %+v, want fallback {2000 0}", m)
+	}
+}
+
+func TestIPC(t *testing.T) {
+	s := sampledFixture()
+	c, i := s.EstimatedCycles(), s.EstimatedInstructions()
+	m := s.IPC()
+	approx(t, "IPC.Value", m.Value, i.Value/c.Value, 1e-12)
+	wantCI := m.Value * (i.CI/i.Value + c.CI/c.Value)
+	approx(t, "IPC.CI", m.CI, wantCI, 1e-9)
+
+	if m := (&Sampled{}).IPC(); m != (Metric{}) {
+		t.Errorf("empty IPC = %+v, want zero", m)
+	}
+}
+
+func TestTLBMissRate(t *testing.T) {
+	s := sampledFixture()
+	m := s.TLBMissRate()
+	// Pooled: (10+40)/(100+200); per-interval ratios 0.1 and 0.2.
+	approx(t, "TLBMissRate.Value", m.Value, 50.0/300.0, 1e-12)
+	sd := math.Sqrt(2 * 0.05 * 0.05)
+	approx(t, "TLBMissRate.CI", m.CI, t975[0]*sd/math.Sqrt(2), 1e-9)
+
+	if m := (&Sampled{}).TLBMissRate(); m != (Metric{}) {
+		t.Errorf("no accesses: %+v, want zero Metric", m)
+	}
+}
+
+func TestWalkLatency(t *testing.T) {
+	s := sampledFixture()
+	m := s.WalkLatency()
+	approx(t, "WalkLatency.Value", m.Value, 1700.0/40.0, 1e-12)
+	if m.CI <= 0 {
+		t.Errorf("WalkLatency.CI = %g, want > 0", m.CI)
+	}
+}
+
+func TestDetailFraction(t *testing.T) {
+	s := sampledFixture()
+	approx(t, "DetailFraction", s.DetailFraction(), 0.5, 1e-12)
+	if got := (&Sampled{}).DetailFraction(); got != 0 {
+		t.Errorf("empty DetailFraction = %g, want 0", got)
+	}
+}
+
+func TestSampledSummary(t *testing.T) {
+	s := sampledFixture()
+	sum := s.Summary()
+	for _, want := range []string{
+		"plan warmup=10 detail=100 fastforward=1000 intervals=5",
+		"detailed 1000 cycles / 2000 warp instrs",
+		"fast-forwarded 10/20 blocks (5000 thread instrs, detail fraction 0.500)",
+		"est_cycles=1500",
+		"tlb_missrate=0.1667",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	if m, ci := meanCI95(nil); m != 0 || ci != 0 {
+		t.Errorf("empty: %g ± %g, want 0 ± 0", m, ci)
+	}
+	if m, ci := meanCI95([]float64{7}); m != 7 || ci != 0 {
+		t.Errorf("n=1: %g ± %g, want 7 ± 0 (no variance estimate)", m, ci)
+	}
+	// n=2: mean 10, sd sqrt(2*4)= 2.828, t(1)=12.706.
+	m, ci := meanCI95([]float64{8, 12})
+	approx(t, "n=2 mean", m, 10, 1e-12)
+	approx(t, "n=2 ci", ci, 12.706*math.Sqrt(8)/math.Sqrt(2), 1e-9)
+
+	// Large n switches to the normal quantile: 40 identical values ±1.
+	xs := make([]float64, 40)
+	for i := range xs {
+		xs[i] = 5
+		if i%2 == 0 {
+			xs[i] = 3
+		}
+	}
+	m, ci = meanCI95(xs)
+	approx(t, "n=40 mean", m, 4, 1e-12)
+	sd := math.Sqrt(40.0 / 39.0)
+	approx(t, "n=40 ci", ci, 1.96*sd/math.Sqrt(40), 1e-9)
+}
+
+func TestTCrit95(t *testing.T) {
+	cases := []struct {
+		df   int
+		want float64
+	}{{0, 0}, {1, 12.706}, {2, 4.303}, {30, 2.042}, {31, 1.96}, {1000, 1.96}}
+	for _, c := range cases {
+		if got := tCrit95(c.df); got != c.want {
+			t.Errorf("tCrit95(%d) = %g, want %g", c.df, got, c.want)
+		}
+	}
+}
+
+// --- coverage for the aggregate Sim helpers used by the sampled path ---
+
+func TestSimMerge(t *testing.T) {
+	a := &Sim{Cycles: 100, CoreCycles: 400}
+	a.Instructions.Add(10)
+	a.IdleCycles.Add(40)
+	a.TLBAccesses.Add(5)
+	a.TLBMissLat.Observe(10)
+	a.PageDivergence.Observe(1)
+	a.ActiveLanes.Observe(16)
+
+	b := &Sim{Cycles: 50, CoreCycles: 200}
+	b.Instructions.Add(4)
+	b.TLBAccesses.Add(3)
+	b.TLBMisses.Add(2)
+	b.TLBMissLat.Observe(30)
+	b.PageDivergence.Observe(3)
+	b.ActiveLanes.Observe(32)
+	b.L2Accesses.Add(8)
+	b.L2Misses.Add(2)
+
+	a.Merge(b)
+	if a.Cycles != 150 || a.CoreCycles != 600 {
+		t.Errorf("cycles merged to %d/%d", a.Cycles, a.CoreCycles)
+	}
+	if a.Instructions.Value() != 14 || a.TLBAccesses.Value() != 8 {
+		t.Errorf("counters merged to instrs=%d tlbacc=%d", a.Instructions, a.TLBAccesses)
+	}
+	if a.TLBMissLat.Events != 2 || a.TLBMissLat.Total != 40 || a.TLBMissLat.Max != 30 {
+		t.Errorf("latency merged to %+v", a.TLBMissLat)
+	}
+	if a.PageDivergence.Count() != 2 || a.PageDivergence.Max() != 3 {
+		t.Errorf("hist merged to count=%d max=%d", a.PageDivergence.Count(), a.PageDivergence.Max())
+	}
+	approx(t, "L2MissRate", a.L2MissRate(), 0.25, 1e-12)
+	approx(t, "SIMDUtilisation(32)", a.SIMDUtilisation(32), 0.75, 1e-12)
+	if got := a.SIMDUtilisation(0); got != 0 {
+		t.Errorf("SIMDUtilisation(0) = %g, want 0", got)
+	}
+	if got := (&Sim{}).L2MissRate(); got != 0 {
+		t.Errorf("empty L2MissRate = %g, want 0", got)
+	}
+	if got := (&Sim{}).IdleFraction(); got != 0 {
+		t.Errorf("empty IdleFraction = %g, want 0", got)
+	}
+	approx(t, "IdleFraction", a.IdleFraction(), 40.0/600.0, 1e-12)
+	if got := (&Sim{}).WalkRefsEliminated(); got != 0 {
+		t.Errorf("empty WalkRefsEliminated = %g, want 0", got)
+	}
+}
+
+func TestHistJSONRoundTrip(t *testing.T) {
+	var h Hist
+	for _, v := range []int{0, 2, 2, 5} {
+		h.Observe(v)
+	}
+	data, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Hist
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Count() != 4 || back.Max() != 5 || back.Mean() != h.Mean() || back.Bucket(2) != 2 {
+		t.Errorf("round trip lost state: %+v vs %+v", back, h)
+	}
+	if err := back.UnmarshalJSON([]byte("{bad")); err == nil {
+		t.Error("UnmarshalJSON accepted malformed input")
+	}
+}
+
+func TestHistPercentileEdges(t *testing.T) {
+	var h Hist
+	if got := h.Percentile(0.5); got != 0 {
+		t.Errorf("empty Percentile = %d, want 0", got)
+	}
+	for _, v := range []int{1, 2, 3, 4} {
+		h.Observe(v)
+	}
+	// p=0 clamps to "at least one sample".
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("Percentile(0) = %d, want 1", got)
+	}
+	if got := h.Percentile(0.5); got != 2 {
+		t.Errorf("Percentile(0.5) = %d, want 2", got)
+	}
+	if got := h.Percentile(1); got != 4 {
+		t.Errorf("Percentile(1) = %d, want 4", got)
+	}
+}

@@ -138,6 +138,15 @@ func (m *PhysMem) PageBytes(pa uint64) []byte {
 	return p.data[:]
 }
 
+// MutablePageBytes returns a writable view of the materialised 4 KB page
+// holding pa, creating it (and setting its dirty bit) if absent. The
+// functional interpreter caches these slices to avoid a map lookup per
+// access; holders must drop cached slices before any snapshot operation,
+// since writes through a cached slice do not re-set the dirty bit.
+func (m *PhysMem) MutablePageBytes(pa uint64) []byte {
+	return m.page(pa, true).data[:]
+}
+
 // FrameAllocator hands out 4 KB physical frames in a pseudo-random order so
 // that consecutively mapped virtual pages land on scattered frames, as they
 // would on a long-running machine with a fragmented free list. Large-page

@@ -93,6 +93,22 @@ if ! cmp -s "$obs_tmp/fig2.campaign.txt" "$obs_tmp/fig2.ckpt.txt"; then
 	exit 1
 fi
 
+# Sampling gates (DESIGN.md section 15). TestSampledAccuracyGate: sampled
+# estimates of the sim_cycles-derived metrics (IPC, TLB miss rate) must
+# agree with the exact run within 2% and the end-of-run memory/page-table
+# digests must be identical. TestSampledReportGolden: the sampled report is
+# byte-identical for -par 1/2/8 and matches its committed golden. Then the
+# committed run.sampling campaign must render byte-identically for any
+# -j/-par — interval sampling must not leak host parallelism into reports.
+echo "== sampling gates (accuracy <= 2%, report golden, campaign determinism)"
+go test -run 'TestSampledAccuracyGate|TestSampledReportGolden' ./internal/experiments
+"$obs_tmp/experiments" -campaign examples/campaigns/sampled-sweep.yaml -j 1 -par 1 >"$obs_tmp/sampled.a.txt"
+"$obs_tmp/experiments" -campaign examples/campaigns/sampled-sweep.yaml -j 3 -par "$host_par" >"$obs_tmp/sampled.b.txt"
+if ! cmp -s "$obs_tmp/sampled.a.txt" "$obs_tmp/sampled.b.txt"; then
+	echo "ci: FAIL sampled campaign report differs across -j/-par" >&2
+	exit 1
+fi
+
 # Snapshot round-trip under the race detector: restore-then-run must be
 # byte-identical to a cold run (stats, memory image, Chrome trace) for
 # -par 1/2/8, and the snapshot pool must be clean under concurrent Acquire.
@@ -108,10 +124,11 @@ go test -run '^$' -fuzz '^FuzzPageTable$' -fuzztime 15s ./internal/difftest
 go test -run '^$' -fuzz '^FuzzTLBVsWalk$' -fuzztime 15s ./internal/difftest
 
 # Coverage floor for the packages the invariant checker and differential
-# harness lean on hardest: translation hardware and the VM layer must stay
-# above 80% statement coverage.
-echo "== coverage floor (internal/core, internal/vm >= 80%)"
-for pkg in ./internal/core ./internal/vm; do
+# harness lean on hardest — translation hardware and the VM layer — plus
+# the two the sampled/checkpointed paths rest on: snapshot restore and the
+# interval-sampling estimators. All must stay above 80% statement coverage.
+echo "== coverage floor (internal/core, internal/vm, internal/snapshot, internal/stats >= 80%)"
+for pkg in ./internal/core ./internal/vm ./internal/snapshot ./internal/stats; do
 	pct="$(go test -cover "$pkg" | awk -F'coverage: ' '/coverage:/ { split($2, a, "%"); print a[1] }')"
 	if [[ -z "$pct" ]]; then
 		echo "ci: FAIL could not parse coverage for $pkg" >&2
