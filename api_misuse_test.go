@@ -1,0 +1,166 @@
+package gpummu
+
+// Option-misuse coverage for the Run(ctx, ...RunOption) entry point: every
+// rejected combination must fail with a typed error a caller can match —
+// *config.FieldError for bad configurations, *obs.AbortError (unwrapping
+// to the context error) for cancelled runs — never a silent fallback. Plus
+// the Client ↔ Server round trip over httptest, including the dedup
+// counters a resubmitted identical job must report.
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"gpummu/internal/config"
+	"gpummu/internal/service"
+)
+
+// TestRunRejectsInvalidConfig: a broken hardware configuration must
+// surface as a *config.FieldError naming the field, before anything
+// simulates.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.NumCores = 0
+	_, err := Run(context.Background(), WithConfig(cfg), WithWorkload("pointerchase", SizeTiny))
+	if err == nil {
+		t.Fatal("invalid config ran")
+	}
+	var fe *config.FieldError
+	if !errors.As(err, &fe) {
+		t.Fatalf("want *config.FieldError, got %T: %v", err, err)
+	}
+	if fe.Field == "" {
+		t.Fatalf("FieldError names no field: %v", fe)
+	}
+}
+
+// TestRunRejectsNoSource: Run without any workload source must fail
+// loudly, not default to something.
+func TestRunRejectsNoSource(t *testing.T) {
+	if _, err := Run(context.Background(), WithConfig(SmallConfig())); err == nil {
+		t.Fatal("sourceless run succeeded")
+	}
+}
+
+// TestRunRejectsConflictingSources: WithWorkload and WithKernel are
+// mutually exclusive.
+func TestRunRejectsConflictingSources(t *testing.T) {
+	as := NewAddressSpace(12)
+	w, err := BuildWorkload("pointerchase", SizeTiny, 12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(context.Background(),
+		WithConfig(SmallConfig()),
+		WithWorkload("pointerchase", SizeTiny),
+		WithKernel(as, w.Launch))
+	if err == nil {
+		t.Fatal("conflicting sources ran")
+	}
+}
+
+// TestRunRejectsUnknownWorkload: an unregistered name must fail the build
+// step with the registry's error.
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	if _, err := Run(context.Background(), WithWorkload("no-such-workload", SizeTiny)); err == nil {
+		t.Fatal("unknown workload ran")
+	}
+}
+
+// TestRunCancelledContext: a cancelled context aborts the run with an
+// *AbortError that unwraps to context.Canceled (the poll shares the ~16k
+// cycle prune cadence, so the workload must outlive one window).
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, WithConfig(SmallConfig()), WithWorkload("bfs", SizeSmall))
+	if err == nil {
+		t.Fatal("cancelled run succeeded")
+	}
+	var ae *AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("want *AbortError, got %T: %v", err, err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("abort does not unwrap to context.Canceled: %v", err)
+	}
+}
+
+// TestClientServerRoundTrip drives the exported Client against an
+// in-memory service.Server over httptest: submit an ad-hoc job, wait for
+// it, fetch its report and stored results, then resubmit the identical
+// job and require the dedup counters to prove zero new simulations.
+func TestClientServerRoundTrip(t *testing.T) {
+	srv, err := service.NewServer(service.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	req := SubmitRequest{Workloads: []string{"pointerchase"}, Size: "tiny", Machine: "small"}
+	job, err := c.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	job, err = c.Wait(ctx, job.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != service.StateDone {
+		t.Fatalf("job %s finished %s: %s", job.ID, job.State, job.Error)
+	}
+	if job.Total != 1 || job.Simulated != 1 || job.FromStore != 0 {
+		t.Fatalf("first run counters = total %d simulated %d fromStore %d",
+			job.Total, job.Simulated, job.FromStore)
+	}
+	report, err := c.Report(job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report) == 0 {
+		t.Fatal("empty report")
+	}
+	results, err := c.Results("pointerchase")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Schema != ResultSchema {
+		t.Fatalf("results = %+v", results)
+	}
+	if _, err := c.Result(results[0].Key); err != nil {
+		t.Fatalf("exact-key fetch: %v", err)
+	}
+	best, _, err := c.Best("pointerchase", "cycles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Key != results[0].Key {
+		t.Fatalf("best = %s, want %s", best.Key, results[0].Key)
+	}
+
+	// The identical resubmission must be served entirely from the store:
+	// the manifest's dedup counters are the proof nothing re-simulated.
+	job2, err := c.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job2, err = c.Wait(ctx, job2.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job2.State != service.StateDone {
+		t.Fatalf("resubmitted job finished %s: %s", job2.State, job2.Error)
+	}
+	if job2.Simulated != 0 || job2.FromStore != 1 {
+		t.Fatalf("resubmit counters = simulated %d fromStore %d, want 0/1",
+			job2.Simulated, job2.FromStore)
+	}
+}

@@ -25,8 +25,14 @@ import (
 	"gpummu/internal/workloads"
 )
 
+// benchSchema versions the bench record envelope, mirroring the service
+// package's result schema discipline: consumers match on it instead of
+// sniffing fields.
+const benchSchema = "gpummu.bench/v1"
+
 // benchMeta is the host/commit attribution common to both bench records.
 type benchMeta struct {
+	Schema     string `json:"schema"`
 	Kind       string `json:"kind"`
 	Workload   string `json:"workload"`
 	Size       string `json:"size"`
@@ -41,6 +47,7 @@ func newBenchMeta(kind, workload, size, label string) benchMeta {
 		label = "unknown"
 	}
 	return benchMeta{
+		Schema:     benchSchema,
 		Kind:       kind,
 		Workload:   workload,
 		Size:       size,

@@ -37,6 +37,7 @@ import (
 	"gpummu/internal/config"
 	"gpummu/internal/gpu"
 	"gpummu/internal/obs"
+	"gpummu/internal/service"
 	"gpummu/internal/stats"
 	"gpummu/internal/workloads"
 
@@ -44,6 +45,12 @@ import (
 )
 
 func main() {
+	// Server verbs (submit/status/results/compare/recommend) dispatch
+	// before classic flag parsing: `gpusim submit ...` talks to gpusimd,
+	// plain `gpusim -workload ...` simulates locally as always.
+	if runClientVerb() {
+		return
+	}
 	var (
 		workload = flag.String("workload", "bfs", "workload name, comma list, or 'all' (see -list)")
 		size     = flag.String("size", "small", "tiny|small|medium|large")
@@ -80,6 +87,7 @@ func main() {
 		deadline = flag.Duration("deadline", 0, "wall-clock budget for the run, e.g. 30s (0 = none)")
 		progress = flag.Bool("v", false, "log per-run completion to stderr")
 		campFile = flag.String("campaign", "", "campaign file (YAML or JSON); explicitly-set flags override it")
+		validate = flag.Bool("validate", false, "validate -campaign, print its canonical form, and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -106,10 +114,19 @@ func main() {
 		if err != nil {
 			fatal("%v", err)
 		}
-		if len(c.Sweep.Axes) > 0 {
-			fatal("campaign %q declares sweep axes; run it with cmd/experiments", c.Name)
-		}
 		camp = c
+	}
+	// -validate checks and canonicalises any campaign — including sweep
+	// campaigns gpusim itself won't run — matching cmd/experiments.
+	if *validate {
+		if camp == nil {
+			fatal("-validate requires -campaign")
+		}
+		os.Stdout.Write(camp.Emit())
+		return
+	}
+	if camp != nil && len(camp.Sweep.Axes) > 0 {
+		fatal("campaign %q declares sweep axes; run it with cmd/experiments", camp.Name)
 	}
 
 	var cfg config.Hardware
@@ -448,7 +465,7 @@ func main() {
 		}
 		var b strings.Builder
 		if *asJSON {
-			if err := writeJSON(&b, name, *size, cycles, st, cfg, smp); err != nil {
+			if err := writeJSON(&b, name, sz, *seed, cfg, samplePlan, cycles, st, smp, time.Since(start)); err != nil {
 				return outcome{err: err}
 			}
 		} else {
@@ -614,49 +631,16 @@ func writeText(out io.Writer, name, size string, cycles uint64, st *stats.Sim, c
 	}
 }
 
-// writeJSON renders one run as an indented JSON object.
-func writeJSON(out io.Writer, name, size string, cycles uint64, st *stats.Sim, cfg config.Hardware, smp *stats.Sampled) error {
-	obj := map[string]interface{}{
-		"workload":      name,
-		"size":          size,
-		"cycles":        cycles,
-		"instructions":  st.Instructions.Value(),
-		"memFraction":   st.MemFraction(),
-		"idleFraction":  st.IdleFraction(),
-		"tlbAccesses":   st.TLBAccesses.Value(),
-		"tlbMissRate":   st.TLBMissRate(),
-		"tlbMissLat":    st.TLBMissLat.Mean(),
-		"l1MissRate":    st.L1MissRate(),
-		"l1MissLat":     st.L1MissLat.Mean(),
-		"l2MissRate":    st.L2MissRate(),
-		"pageDivAvg":    st.PageDivergence.Mean(),
-		"pageDivMax":    st.PageDivergence.Max(),
-		"walks":         st.Walks.Value(),
-		"walkRefs":      st.WalkRefs.Value(),
-		"walkRefsElim":  st.WalkRefsEliminated(),
-		"pwcHits":       st.PWCHits.Value(),
-		"sharedTLBHits": st.SharedTLBHits.Value(),
-		"compacted":     st.CompactedWarps.Value(),
-		"simdUtil":      st.SIMDUtilisation(cfg.WarpWidth),
-	}
-	if smp != nil {
-		obj["sampled"] = map[string]interface{}{
-			"estCycles":      smp.EstimatedCycles().Value,
-			"estCyclesCI":    smp.EstimatedCycles().CI,
-			"estIPC":         smp.IPC().Value,
-			"estIPCCI":       smp.IPC().CI,
-			"tlbMissRate":    smp.TLBMissRate().Value,
-			"tlbMissRateCI":  smp.TLBMissRate().CI,
-			"detailCycles":   smp.DetailCycles,
-			"ffBlocks":       smp.FFBlocks,
-			"totalBlocks":    smp.TotalBlocks,
-			"detailFraction": smp.DetailFraction(),
-			"intervals":      len(smp.Intervals),
-		}
-	}
+// writeJSON renders one run as the versioned service.Result envelope —
+// the same JSON object the job server stores and serves, so `gpusim
+// -json` output, /v1/results responses, and durable store lines all share
+// one schema ("gpummu.result/v1").
+func writeJSON(out io.Writer, name string, sz workloads.Size, seed uint64, cfg config.Hardware,
+	plan gpu.SamplePlan, cycles uint64, st *stats.Sim, smp *stats.Sampled, wall time.Duration) error {
+	env := service.New(name, sz, seed, cfg, plan, cycles, st, smp, wall, nil)
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(obj)
+	return enc.Encode(env)
 }
 
 func fatal(format string, args ...interface{}) {

@@ -446,7 +446,9 @@ func runSim(ctx context.Context, spec *runSpec) (*Report, error) {
 // RunWorkload builds the named workload at the given scale and runs it on
 // a machine with cfg, returning the report. The workload's functional
 // check runs afterwards; a check failure is an error (the simulator must
-// compute real results, not just traffic).
+// compute real results, not just traffic). It is a thin wrapper over Run
+// with a background context and gains none of the option API's controls
+// (cancellation, observability, sampling).
 //
 // Deprecated: use Run with WithConfig, WithWorkload, and WithSeed.
 func RunWorkload(name string, size Size, cfg Config, seed uint64) (*Report, error) {
@@ -455,7 +457,8 @@ func RunWorkload(name string, size Size, cfg Config, seed uint64) (*Report, erro
 
 // RunBuilt runs an already-constructed workload (from BuildWorkload) on a
 // machine with cfg. The same built workload must not be reused across runs
-// because kernels mutate their data.
+// because kernels mutate their data. It is a thin wrapper over Run with a
+// background context.
 //
 // Deprecated: use Run with WithConfig and WithBuilt.
 func RunBuilt(w *workloads.Workload, cfg Config) (*Report, error) {
@@ -470,7 +473,8 @@ func BuildWorkload(name string, size Size, pageShift uint, seed uint64) (*worklo
 
 // RunKernel executes a custom kernel launch over the given address space
 // with cfg, for users building their own workloads against the public ISA
-// in internal/kernels (re-exported by examples).
+// in internal/kernels (re-exported by examples). It is a thin wrapper over
+// Run with a background context.
 //
 // Deprecated: use Run with WithConfig and WithKernel (and WithCheck to get
 // a Verified report).

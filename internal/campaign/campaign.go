@@ -187,6 +187,34 @@ func Parse(data []byte) (*Campaign, error) {
 	return c, nil
 }
 
+// NewAdhoc builds a validated, normalised campaign from job-shaped
+// submission fields — the form the job server's POST /v1/jobs accepts when
+// a client submits (workloads, machine) directly instead of a campaign
+// document. Zero-valued arguments take the documented campaign defaults
+// (preset "baseline", the paper's six workloads, size "small", seed 1).
+// The returned campaign declares no figures or sweep: it runs just its
+// workload set, exactly like a gpusim invocation.
+func NewAdhoc(name string, workloadNames []string, size string, seed uint64, preset string, set map[string]any, run RunOptions) (*Campaign, error) {
+	if name == "" {
+		name = "adhoc"
+	}
+	c := &Campaign{
+		APIVersion: APIVersion,
+		Name:       name,
+		Machine:    Machine{Preset: preset, Set: set},
+		Workloads:  WorkloadSet{Names: workloadNames, Size: size, Seed: seed},
+		Run:        run,
+	}
+	c.applyDefaults()
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if err := c.normalise(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
 // applyDefaults fills unset fields with their documented defaults.
 func (c *Campaign) applyDefaults() {
 	if c.Machine.Preset == "" {

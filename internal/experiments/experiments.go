@@ -50,6 +50,12 @@ type Options struct {
 	// the rendered tables become extrapolated estimates, ratios come from
 	// the measured windows. The zero plan keeps runs exact.
 	Sampling gpu.SamplePlan
+
+	// Results substitutes the harness's result store. The default (nil) is
+	// a fresh in-memory ResultStore; the job server passes a store-backed
+	// implementation so completed runs persist across processes and dedup
+	// reaches results other clients already paid for.
+	Results Results
 }
 
 func (o *Options) fill() {
@@ -83,6 +89,10 @@ type Harness struct {
 // New creates a harness writing its tables to out.
 func New(out io.Writer, opt Options) *Harness {
 	opt.fill()
+	store := opt.Results
+	if store == nil {
+		store = NewResultStore()
+	}
 	return &Harness{
 		opt: opt,
 		out: out,
@@ -91,7 +101,7 @@ func New(out io.Writer, opt Options) *Harness {
 			Size:        opt.Size,
 			Seed:        opt.Seed,
 			Progress:    opt.Progress,
-			Store:       NewResultStore(),
+			Store:       store,
 			CoreWorkers: opt.CoreWorkers,
 			Obs:         opt.Obs,
 			Checkpoint:  opt.Checkpoint,
@@ -101,7 +111,7 @@ func New(out io.Writer, opt Options) *Harness {
 }
 
 // Store exposes the harness's result store (tests and tools).
-func (h *Harness) Store() *ResultStore { return h.exec.Store }
+func (h *Harness) Store() Results { return h.exec.Store }
 
 // Spec builds the RunSpec for workload w under cfg with this harness's
 // size and seed baked into the executor.

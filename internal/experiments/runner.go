@@ -95,6 +95,24 @@ type RunResult struct {
 	Sampled *stats.Sampled
 }
 
+// Results is the executor's result source and sink: where completed runs
+// are published and where dedup lookups go before anything simulates. The
+// in-process implementation is ResultStore; the job server substitutes a
+// store-backed implementation whose Get also consults a durable result
+// store, so results computed by an earlier process (or another client) are
+// never recomputed. Implementations must be safe for concurrent use and
+// write-once per key: the first Put for a spec wins.
+type Results interface {
+	// Get returns the completed result for spec, if present.
+	Get(spec RunSpec) (*RunResult, bool)
+	// Put publishes a completed result; the first write for a key wins.
+	Put(res *RunResult)
+	// Len returns the number of stored results.
+	Len() int
+	// Failed returns the failed results in no particular order.
+	Failed() []*RunResult
+}
+
 // ResultStore is a concurrency-safe map from spec key to result. Results
 // are write-once: the first publication wins and later ones are dropped,
 // so a stored result never changes underneath a reader.
@@ -158,11 +176,21 @@ type ObsOptions struct {
 	// Deadline aborts any run still simulating past this wall-clock
 	// instant with a typed obs.ErrDeadline. The zero time disables it.
 	Deadline time.Time
+
+	// Progress, when non-nil, receives periodic heartbeats from every run,
+	// labelled with the spec being simulated (concurrent runs call it from
+	// their own goroutines — fan it out safely with obs.Funnel). The job
+	// server bridges these callbacks onto its SSE event streams.
+	Progress func(spec RunSpec, p obs.Progress)
+	// ProgressEvery is the Progress cadence in cycles (0 picks the
+	// simulator default; when SampleEvery is also set, matching it makes
+	// the heartbeats line up with the sampler rows).
+	ProgressEvery uint64
 }
 
 // enabled reports whether any observability feature is requested.
 func (o ObsOptions) enabled() bool {
-	return o.SampleEvery > 0 || o.Watchdog > 0 || o.MaxCycles > 0 || !o.Deadline.IsZero()
+	return o.SampleEvery > 0 || o.Watchdog > 0 || o.MaxCycles > 0 || !o.Deadline.IsZero() || o.Progress != nil
 }
 
 // Executor runs plans on a pool of worker goroutines.
@@ -171,7 +199,7 @@ type Executor struct {
 	Size     workloads.Size // dataset scale for workload construction
 	Seed     uint64         // workload generation seed
 	Progress io.Writer      // per-run progress lines; nil for silent
-	Store    *ResultStore   // destination; created on first use when nil
+	Store    Results        // destination; a fresh ResultStore when nil
 
 	// CoreWorkers sets gpu.GPU.Workers for every simulation: how many
 	// goroutines tick cores inside one run (the -par flag). Simulation
@@ -233,7 +261,7 @@ func (e *Executor) workers() int {
 }
 
 // store resolves the destination store.
-func (e *Executor) store() *ResultStore {
+func (e *Executor) store() Results {
 	if e.Store == nil {
 		e.Store = NewResultStore()
 	}
@@ -365,6 +393,10 @@ func ExecuteSampled(spec RunSpec, size workloads.Size, seed uint64, coreWorkers 
 		g.Deadline = ob.Deadline
 		if ob.SampleEvery > 0 {
 			g.Sampler = obs.NewSampler(ob.SampleEvery, 0)
+		}
+		if ob.Progress != nil {
+			g.Progress = func(p obs.Progress) { ob.Progress(spec, p) }
+			g.ProgressEvery = ob.ProgressEvery
 		}
 	}
 	var runErr error

@@ -1,0 +1,82 @@
+package obs
+
+import "sync"
+
+// Tick is one labelled Progress snapshot flowing through a Funnel: the
+// Source names the run that produced it (the job server uses
+// "<job>|<workload>" labels), Progress is the heartbeat itself.
+type Tick struct {
+	Source   string   `json:"source"`
+	Progress Progress `json:"progress"`
+}
+
+// Funnel fans labelled Progress heartbeats out to any number of
+// subscribers — the bridge between a simulation's WithProgress callback
+// (one producer, called on the run's goroutine) and streaming consumers
+// such as the job server's SSE event feeds (many consumers, each on its
+// own connection goroutine).
+//
+// Publish never blocks: a subscriber whose buffer is full simply misses
+// that tick. Progress heartbeats are periodic snapshots of monotonic
+// counters, so a dropped tick costs resolution, not correctness — the next
+// tick carries strictly newer cumulative values. This keeps a slow SSE
+// client from ever stalling the simulation hot loop.
+type Funnel struct {
+	mu   sync.Mutex
+	subs map[int]chan Tick
+	next int
+}
+
+// NewFunnel returns an empty funnel.
+func NewFunnel() *Funnel {
+	return &Funnel{subs: make(map[int]chan Tick)}
+}
+
+// Publish broadcasts one tick to every subscriber, dropping it for
+// subscribers whose buffers are full.
+func (f *Funnel) Publish(source string, p Progress) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	t := Tick{Source: source, Progress: p}
+	for _, ch := range f.subs {
+		select {
+		case ch <- t:
+		default: // lagging subscriber: drop, never block the simulation
+		}
+	}
+}
+
+// Subscribe registers a new subscriber with the given buffer size
+// (minimum 1) and returns its channel plus a cancel function. Cancel is
+// idempotent and closes the channel, so ranging consumers terminate.
+func (f *Funnel) Subscribe(buf int) (<-chan Tick, func()) {
+	if buf < 1 {
+		buf = 1
+	}
+	ch := make(chan Tick, buf)
+	f.mu.Lock()
+	id := f.next
+	f.next++
+	f.subs[id] = ch
+	f.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			// Close under the lock: Publish sends only while holding it, so
+			// no send can race the close.
+			f.mu.Lock()
+			delete(f.subs, id)
+			close(ch)
+			f.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// Subscribers reports how many subscribers are currently registered.
+func (f *Funnel) Subscribers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}

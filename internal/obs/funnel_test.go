@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestFunnelFanOut: every live subscriber with buffer room receives each
+// published tick, labelled with its source.
+func TestFunnelFanOut(t *testing.T) {
+	f := NewFunnel()
+	a, cancelA := f.Subscribe(4)
+	b, cancelB := f.Subscribe(4)
+	defer cancelA()
+	defer cancelB()
+
+	f.Publish("job1|bfs", Progress{Cycle: 100})
+	f.Publish("job1|bfs", Progress{Cycle: 200})
+
+	for name, ch := range map[string]<-chan Tick{"a": a, "b": b} {
+		for i, want := range []uint64{100, 200} {
+			tick := <-ch
+			if tick.Source != "job1|bfs" || tick.Progress.Cycle != want {
+				t.Fatalf("sub %s tick %d = %+v, want source job1|bfs cycle %d", name, i, tick, want)
+			}
+		}
+	}
+	if n := f.Subscribers(); n != 2 {
+		t.Fatalf("Subscribers() = %d, want 2", n)
+	}
+}
+
+// TestFunnelDropsWhenFull: a lagging subscriber misses ticks instead of
+// blocking the publisher — the contract that keeps a slow SSE client out
+// of the simulation hot loop.
+func TestFunnelDropsWhenFull(t *testing.T) {
+	f := NewFunnel()
+	ch, cancel := f.Subscribe(1)
+	defer cancel()
+
+	// Nobody draining: the second publish must drop, not block.
+	f.Publish("s", Progress{Cycle: 1})
+	f.Publish("s", Progress{Cycle: 2})
+
+	if tick := <-ch; tick.Progress.Cycle != 1 {
+		t.Fatalf("buffered tick cycle = %d, want 1", tick.Progress.Cycle)
+	}
+	select {
+	case tick := <-ch:
+		t.Fatalf("dropped tick delivered: %+v", tick)
+	default:
+	}
+}
+
+// TestFunnelCancel: cancel closes the channel (so ranging consumers
+// terminate), removes the subscription, and is idempotent; publishing
+// after cancel reaches nobody and never sends on a closed channel.
+func TestFunnelCancel(t *testing.T) {
+	f := NewFunnel()
+	ch, cancel := f.Subscribe(1)
+	cancel()
+	cancel() // idempotent
+
+	if n := f.Subscribers(); n != 0 {
+		t.Fatalf("Subscribers() after cancel = %d, want 0", n)
+	}
+	f.Publish("s", Progress{Cycle: 1}) // must not panic on the closed channel
+	if _, ok := <-ch; ok {
+		t.Fatal("cancelled channel still delivers")
+	}
+}
+
+// TestFunnelConcurrent: one publisher against subscribers that churn
+// (subscribe, drain a little, cancel) from several goroutines — the
+// sends-only-under-lock design must survive -race with closes in flight.
+func TestFunnelConcurrent(t *testing.T) {
+	f := NewFunnel()
+	stop := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				f.Publish("s", Progress{Cycle: uint64(i)})
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ch, cancel := f.Subscribe(2)
+				select {
+				case <-ch:
+				default:
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-pubDone
+	if n := f.Subscribers(); n != 0 {
+		t.Fatalf("Subscribers() after churn = %d, want 0", n)
+	}
+}

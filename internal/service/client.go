@@ -1,0 +1,222 @@
+// The Go consumer of the /v1 API: everything the gpusim
+// submit/status/results/compare/recommend subcommands do goes through
+// Client, so scripts embedding the simulator talk to a shared gpusimd the
+// same way the CLI does.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+)
+
+// Client talks to a gpusimd server.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP overrides the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for the server at base.
+func NewClient(base string) *Client {
+	return &Client{Base: strings.TrimRight(base, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues one request and decodes the JSON response into out (skipped
+// when out is nil). Non-2xx responses return the server's error message.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("service: encoding request: %w", err)
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.Base+path, rd)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("service: reading response: %w", err)
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("service: %s %s: %s", method, path, e.Error)
+		}
+		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("service: decoding response: %w", err)
+	}
+	return nil
+}
+
+// Submit posts one job submission.
+func (c *Client) Submit(req SubmitRequest) (*Job, error) {
+	var j Job
+	if err := c.do(http.MethodPost, "/v1/jobs", req, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// SubmitCampaign posts a campaign document (YAML or JSON).
+func (c *Client) SubmitCampaign(doc []byte) (*Job, error) {
+	return c.Submit(SubmitRequest{Campaign: string(doc)})
+}
+
+// Job fetches one job's current state.
+func (c *Client) Job(id string) (*Job, error) {
+	var j Job
+	if err := c.do(http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &j); err != nil {
+		return nil, err
+	}
+	return &j, nil
+}
+
+// Jobs lists every job the server knows, oldest first.
+func (c *Client) Jobs() ([]*Job, error) {
+	var out struct {
+		Jobs []*Job `json:"jobs"`
+	}
+	if err := c.do(http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// Wait polls until the job reaches a terminal state (done, failed,
+// timeout) and returns its final snapshot. poll <= 0 defaults to 200ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (*Job, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		j, err := c.Job(id)
+		if err != nil {
+			return nil, err
+		}
+		switch j.State {
+		case StateDone, StateFailed, StateTimeout:
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Report fetches a finished job's rendered report.
+func (c *Client) Report(id string) ([]byte, error) {
+	resp, err := c.http().Get(c.Base + "/v1/jobs/" + url.PathEscape(id) + "/report")
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("service: reading report: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("service: report: %s", e.Error)
+		}
+		return nil, fmt.Errorf("service: report: HTTP %d", resp.StatusCode)
+	}
+	return data, nil
+}
+
+// Result fetches the stored envelope for one exact key.
+func (c *Client) Result(key string) (*Result, error) {
+	var r Result
+	if err := c.do(http.MethodGet, "/v1/results?key="+url.QueryEscape(key), nil, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// Results lists stored envelopes, optionally filtered to one workload.
+func (c *Client) Results(workload string) ([]*Result, error) {
+	path := "/v1/results"
+	if workload != "" {
+		path += "?workload=" + url.QueryEscape(workload)
+	}
+	var out struct {
+		Results []*Result `json:"results"`
+	}
+	if err := c.do(http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Compare fetches the envelopes for the given keys, in order, failing if
+// any is missing.
+func (c *Client) Compare(keys ...string) ([]*Result, error) {
+	q := url.Values{}
+	for _, k := range keys {
+		q.Add("key", k)
+	}
+	var out struct {
+		Results []*Result `json:"results"`
+	}
+	if err := c.do(http.MethodGet, "/v1/compare?"+q.Encode(), nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Best asks the server for the stored configuration optimising metric
+// ("cycles", "ipc", "tlbmissrate") for one workload.
+func (c *Client) Best(workload, metric string) (*Result, float64, error) {
+	q := url.Values{"workload": {workload}}
+	if metric != "" {
+		q.Set("metric", metric)
+	}
+	var out struct {
+		Metric string  `json:"metric"`
+		Value  float64 `json:"value"`
+		Result *Result `json:"result"`
+	}
+	if err := c.do(http.MethodGet, "/v1/best?"+q.Encode(), nil, &out); err != nil {
+		return nil, 0, err
+	}
+	return out.Result, out.Value, nil
+}

@@ -1,0 +1,252 @@
+// The run manifest: a journalled record of every job the server has
+// accepted, durable across restarts. Each state change appends one JSON
+// line to manifest.jsonl; opening a manifest replays the journal with
+// last-record-per-ID wins, so the file needs no rewriting and a crash
+// mid-append loses at most the final transition. Jobs found in
+// pending/running state at open are the interrupted ones — the server
+// requeues them, and their completed simulations are already in the
+// durable store, so a resume only pays for what never finished.
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Job states. The lifecycle is pending → running → (done | failed |
+// timeout); a restart moves interrupted running jobs back to pending.
+const (
+	StatePending = "pending"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+	StateTimeout = "timeout"
+)
+
+// Job is one manifest entry: a submitted campaign and its execution state.
+type Job struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Kind records how the job arrived: "campaign" (a submitted document)
+	// or "run" (an ad-hoc workload+config submission the server wrapped in
+	// a campaign).
+	Kind string `json:"kind"`
+	// Name is the campaign name (display, not identity).
+	Name string `json:"name"`
+	// Campaign is the canonical campaign document (campaign.Emit output):
+	// everything needed to re-expand and resume the job after a restart.
+	Campaign string `json:"campaign"`
+
+	Created  string `json:"created,omitempty"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+
+	// Total counts the unique simulations the job needs; Simulated the ones
+	// this execution actually ran; FromStore the ones served from the
+	// durable store. Total = Simulated + FromStore when the job is done —
+	// a resubmitted identical job reports Simulated == 0.
+	Total     int `json:"total"`
+	Simulated int `json:"simulated"`
+	FromStore int `json:"fromStore"`
+	// Failures counts runs that completed with an error.
+	Failures int `json:"failures,omitempty"`
+
+	// Error is the job-level failure message (failed/timeout states).
+	Error string `json:"error,omitempty"`
+	// ReportPath locates the rendered report under the server directory.
+	ReportPath string `json:"reportPath,omitempty"`
+}
+
+// Clone returns a copy safe to hand to other goroutines.
+func (j *Job) Clone() *Job {
+	c := *j
+	return &c
+}
+
+// Manifest tracks jobs, optionally journalling every update to
+// manifest.jsonl in its directory. A Manifest with no directory is
+// memory-only (tests, ephemeral servers).
+type Manifest struct {
+	mu   sync.RWMutex
+	jobs map[string]*Job
+	next int
+	f    *os.File
+}
+
+// OpenManifest opens the manifest journal in dir, replaying any existing
+// journal. dir == "" creates a memory-only manifest.
+func OpenManifest(dir string) (*Manifest, error) {
+	m := &Manifest{jobs: make(map[string]*Job), next: 1}
+	if dir == "" {
+		return m, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: manifest dir: %w", err)
+	}
+	path := filepath.Join(dir, "manifest.jsonl")
+	if err := m.replay(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("service: manifest journal: %w", err)
+	}
+	m.f = f
+	// A job interrupted mid-run is requeued: its results live in the
+	// durable store, so re-execution skips everything that completed.
+	for _, j := range m.jobs {
+		if j.State == StateRunning {
+			j.State = StatePending
+			j.Started = ""
+		}
+	}
+	return m, nil
+}
+
+// replay loads the journal, last record per ID winning. A torn final line
+// (crash mid-append) is dropped.
+func (m *Manifest) replay(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("service: manifest journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var j Job
+		if err := json.Unmarshal(line, &j); err != nil || j.ID == "" {
+			continue // torn tail or foreign line: skip, the previous record stands
+		}
+		m.jobs[j.ID] = &j
+		var n int
+		if _, err := fmt.Sscanf(j.ID, "j%d", &n); err == nil && n >= m.next {
+			m.next = n + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("service: manifest journal: %w", err)
+	}
+	return nil
+}
+
+// NewJob registers a pending job for the given canonical campaign document
+// and returns its snapshot.
+func (m *Manifest) NewJob(kind, name, campaignDoc string) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := &Job{
+		ID:       fmt.Sprintf("j%d", m.next),
+		State:    StatePending,
+		Kind:     kind,
+		Name:     name,
+		Campaign: campaignDoc,
+		Created:  time.Now().UTC().Format(time.RFC3339),
+	}
+	m.next++
+	if err := m.append(j); err != nil {
+		return nil, err
+	}
+	m.jobs[j.ID] = j
+	return j.Clone(), nil
+}
+
+// Update applies fn to the job and journals the new state. It returns the
+// updated snapshot.
+func (m *Manifest) Update(id string, fn func(*Job)) (*Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown job %q", id)
+	}
+	fn(j)
+	if err := m.append(j); err != nil {
+		return nil, err
+	}
+	return j.Clone(), nil
+}
+
+// append journals one record; callers hold the lock.
+func (m *Manifest) append(j *Job) error {
+	if m.f == nil {
+		return nil
+	}
+	line, err := json.Marshal(j)
+	if err != nil {
+		return fmt.Errorf("service: encoding job: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := m.f.Write(line); err != nil {
+		return fmt.Errorf("service: journalling job: %w", err)
+	}
+	if err := m.f.Sync(); err != nil {
+		return fmt.Errorf("service: syncing journal: %w", err)
+	}
+	return nil
+}
+
+// Job returns a snapshot of the job with the given ID.
+func (m *Manifest) Job(id string) (*Job, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.Clone(), true
+}
+
+// Jobs returns snapshots of every job, oldest first.
+func (m *Manifest) Jobs() []*Job {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j.Clone())
+	}
+	sort.Slice(out, func(i, k int) bool {
+		var a, b int
+		fmt.Sscanf(out[i].ID, "j%d", &a)
+		fmt.Sscanf(out[k].ID, "j%d", &b)
+		return a < b
+	})
+	return out
+}
+
+// Resumable returns the IDs of pending jobs, oldest first — the queue a
+// restarted server re-enqueues.
+func (m *Manifest) Resumable() []string {
+	var ids []string
+	for _, j := range m.Jobs() {
+		if j.State == StatePending {
+			ids = append(ids, j.ID)
+		}
+	}
+	return ids
+}
+
+// Close closes the journal.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.f == nil {
+		return nil
+	}
+	err := m.f.Close()
+	m.f = nil
+	return err
+}

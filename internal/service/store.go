@@ -1,0 +1,351 @@
+// The durable result store: an interface (so a SQLite backend can slot in
+// if a pure-Go driver ever lands in the build image) over two
+// implementations — an in-memory map for ephemeral servers and tests, and
+// a dependency-free append-only JSONL segment store with an in-memory
+// index, modelled on log-structured stores: every Put appends one
+// envelope line to the active segment, segments rotate at a size
+// threshold, and opening a store replays the segments in order to rebuild
+// the index. Keys are write-once (the envelope is a pure function of its
+// Key), so replay order only matters for crash-truncated tails, which are
+// skipped.
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Store is the durable result store. Implementations are safe for
+// concurrent use; Put is write-once per Key (later writes are dropped), so
+// a stored Result never changes and readers need no copies.
+type Store interface {
+	// Get returns the stored result for key, if present.
+	Get(key string) (*Result, bool, error)
+	// Put persists a result. The first write for a key wins; results
+	// carrying an Error are rejected (failures are manifest state, not
+	// results).
+	Put(r *Result) error
+	// List returns every stored result sorted by Key.
+	List() ([]*Result, error)
+	// Len returns the number of stored results.
+	Len() int
+	// Close releases the store's resources.
+	Close() error
+}
+
+// errFailedResult guards the store invariant that only successful runs are
+// persisted: a failure must be retried, not cached forever.
+var errFailedResult = fmt.Errorf("service: refusing to store a failed result")
+
+// MemStore is the in-memory Store: results die with the process. It backs
+// tests and `gpusimd -store ""` (an explicitly ephemeral server).
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string]*Result
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{m: make(map[string]*Result)} }
+
+// Get implements Store.
+func (s *MemStore) Get(key string) (*Result, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.m[key]
+	return r, ok, nil
+}
+
+// Put implements Store.
+func (s *MemStore) Put(r *Result) error {
+	if r.Error != "" {
+		return errFailedResult
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.m[r.Key]; dup {
+		return nil
+	}
+	s.m[r.Key] = r
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]*Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Result, 0, len(s.m))
+	for _, r := range s.m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// segmentMaxBytes is the rotation threshold for FileStore segments: big
+// enough that a full design-space sweep fits in a handful of files, small
+// enough that replaying one truncated tail costs little.
+const segmentMaxBytes = 8 << 20
+
+// FileStore is the durable JSONL segment store. Layout under its
+// directory:
+//
+//	results-000001.jsonl    one envelope per line, append-only
+//	results-000002.jsonl    ...rotated at segmentMaxBytes...
+//
+// The in-memory index maps Key → envelope; opening a store replays every
+// segment in sequence order. A line that fails to parse is tolerated only
+// at the tail of the final segment (a crash mid-append); anywhere else it
+// is corruption and opening fails loudly.
+type FileStore struct {
+	mu      sync.RWMutex
+	dir     string
+	idx     map[string]*Result
+	active  *os.File
+	size    int64
+	seq     int
+	skipped int   // crash-truncated tail lines dropped at open
+	truncTo int64 // byte offset the final segment is cut back to (-1: intact)
+}
+
+// OpenFileStore opens (creating if needed) the segment store in dir.
+func OpenFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: store dir: %w", err)
+	}
+	s := &FileStore{dir: dir, idx: make(map[string]*Result), truncTo: -1}
+	names, err := s.segmentNames()
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		last := i == len(names)-1
+		if err := s.replaySegment(name, last); err != nil {
+			return nil, err
+		}
+	}
+	if len(names) > 0 {
+		fmt.Sscanf(names[len(names)-1], "results-%06d.jsonl", &s.seq)
+		if s.truncTo >= 0 {
+			// Cut the crash-torn tail off before appending: left in
+			// place it would merge with (or sit as garbage before) the
+			// next record and turn into mid-file corruption on the
+			// following open.
+			p := filepath.Join(s.dir, names[len(names)-1])
+			if err := os.Truncate(p, s.truncTo); err != nil {
+				return nil, fmt.Errorf("service: truncating torn tail of %s: %w", names[len(names)-1], err)
+			}
+		}
+	} else {
+		s.seq = 1
+	}
+	if err := s.openActive(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// segmentNames lists the store's segment files in sequence order.
+func (s *FileStore) segmentNames() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: store dir: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		var n int
+		if !e.IsDir() && len(e.Name()) == len("results-000000.jsonl") {
+			if _, err := fmt.Sscanf(e.Name(), "results-%06d.jsonl", &n); err == nil {
+				names = append(names, e.Name())
+			}
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// replaySegment loads one segment into the index. tolerateTail permits a
+// single unparseable final line (crash truncation) on the last segment;
+// the torn line's start offset is recorded so openActive can cut it off
+// before new records append.
+func (s *FileStore) replaySegment(name string, tolerateTail bool) error {
+	f, err := os.Open(filepath.Join(s.dir, name))
+	if err != nil {
+		return fmt.Errorf("service: segment %s: %w", name, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	lineNo := 0
+	var off, pendingOff int64
+	var pendingErr error
+	for sc.Scan() {
+		lineNo++
+		if pendingErr != nil {
+			// The bad line was not the tail after all.
+			return pendingErr
+		}
+		line := sc.Bytes()
+		lineStart := off
+		off += int64(len(line)) + 1
+		if len(line) == 0 {
+			continue
+		}
+		var r Result
+		if err := json.Unmarshal(line, &r); err != nil || r.Schema != ResultSchema || r.Key == "" {
+			if err == nil {
+				err = fmt.Errorf("schema %q", r.Schema)
+			}
+			pendingErr = fmt.Errorf("service: segment %s line %d: %w", name, lineNo, err)
+			pendingOff = lineStart
+			continue
+		}
+		if _, dup := s.idx[r.Key]; !dup {
+			rr := r
+			s.idx[r.Key] = &rr
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("service: segment %s: %w", name, err)
+	}
+	if pendingErr != nil {
+		if !tolerateTail {
+			return pendingErr
+		}
+		s.skipped++
+		s.truncTo = pendingOff
+	}
+	return nil
+}
+
+// openActive opens the current sequence's segment for appending. A
+// segment whose last byte is not a newline (a crash mid-append) is sealed
+// with one first, so the torn line stays torn instead of merging with the
+// next record.
+func (s *FileStore) openActive() error {
+	name := fmt.Sprintf("results-%06d.jsonl", s.seq)
+	f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("service: segment %s: %w", name, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("service: segment %s: %w", name, err)
+	}
+	size := st.Size()
+	if size > 0 {
+		var last [1]byte
+		if _, err := f.ReadAt(last[:], size-1); err != nil {
+			f.Close()
+			return fmt.Errorf("service: segment %s: %w", name, err)
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return fmt.Errorf("service: sealing segment %s: %w", name, err)
+			}
+			size++
+		}
+	}
+	s.active, s.size = f, size
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(key string) (*Result, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.idx[key]
+	return r, ok, nil
+}
+
+// Put implements Store: marshal, append, sync, index. Sync per result is
+// cheap next to the simulation that produced it and makes a completed
+// result durable before the manifest can reference it.
+func (s *FileStore) Put(r *Result) error {
+	if r.Error != "" {
+		return errFailedResult
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.idx[r.Key]; dup {
+		return nil
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("service: encoding result: %w", err)
+	}
+	line = append(line, '\n')
+	if s.size+int64(len(line)) > segmentMaxBytes && s.size > 0 {
+		if err := s.active.Close(); err != nil {
+			return fmt.Errorf("service: rotating segment: %w", err)
+		}
+		s.seq++
+		if err := s.openActive(); err != nil {
+			return err
+		}
+	}
+	if _, err := s.active.Write(line); err != nil {
+		return fmt.Errorf("service: appending result: %w", err)
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("service: syncing segment: %w", err)
+	}
+	s.size += int64(len(line))
+	s.idx[r.Key] = r
+	return nil
+}
+
+// List implements Store.
+func (s *FileStore) List() ([]*Result, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*Result, 0, len(s.idx))
+	for _, r := range s.idx {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Len implements Store.
+func (s *FileStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.idx)
+}
+
+// Skipped reports crash-truncated tail lines dropped when the store was
+// opened (diagnostics; the results they held re-simulate on demand).
+func (s *FileStore) Skipped() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.skipped
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	err := s.active.Close()
+	s.active = nil
+	return err
+}

@@ -1,0 +1,54 @@
+// Campaign and service re-exports: the declarative campaign format and
+// the job-server client, surfaced at the root so programs embedding the
+// simulator never import internal packages. A campaign document is the
+// unit of submission (gpusim/experiments run it locally, gpusimd runs it
+// as a job); Result is the one schema-versioned envelope every stored
+// result, /v1 response, and `gpusim -json` object shares.
+package gpummu
+
+import (
+	"gpummu/internal/campaign"
+	"gpummu/internal/service"
+)
+
+// Campaign is one declarative experiment campaign (machine, workload set,
+// figures, sweep axes, run options). See DESIGN.md section 13 for the
+// field-by-field reference.
+type Campaign = campaign.Campaign
+
+// ParseCampaign parses a YAML or JSON campaign document, applies the
+// documented defaults, and validates it. The returned campaign is
+// normalised: Emit renders it in canonical form.
+func ParseCampaign(data []byte) (*Campaign, error) { return campaign.Parse(data) }
+
+// LoadCampaign reads, parses, validates and normalises the campaign file
+// at path.
+func LoadCampaign(path string) (*Campaign, error) { return campaign.Load(path) }
+
+// ResultSchema is the version tag carried by every Result envelope.
+const ResultSchema = service.ResultSchema
+
+// Result is the schema-versioned envelope for one simulation outcome: the
+// durable store persists it, the /v1 endpoints serve it, and `gpusim
+// -json` prints it. Two Results with equal Keys describe byte-identical
+// simulations.
+type Result = service.Result
+
+// ResultSummary is a Result's precomputed headline-metric block.
+type ResultSummary = service.Summary
+
+// Job is one entry in a gpusimd run manifest: a submitted campaign and
+// its execution state (pending/running/done/failed/timeout), including
+// the dedup counters (Simulated vs FromStore).
+type Job = service.Job
+
+// SubmitRequest is the POST /v1/jobs body: a campaign document or
+// job-shaped (workloads, machine) fields.
+type SubmitRequest = service.SubmitRequest
+
+// Client talks to a gpusimd job server over the /v1 API.
+type Client = service.Client
+
+// NewClient returns a client for the gpusimd server at base, e.g.
+// "http://127.0.0.1:8080".
+func NewClient(base string) *Client { return service.NewClient(base) }

@@ -43,7 +43,8 @@ go test -race -run 'TestReportIdenticalAcrossCoreWorkers' ./internal/experiments
 # are the contract that the nil-gated obs hooks cost zero when unused.
 echo "== trace schema (gpusim -trace -sample 100 | tracecheck)"
 obs_tmp="$(mktemp -d)"
-trap 'rm -rf "$obs_tmp"' EXIT
+svc_pid=""
+trap '[[ -n "$svc_pid" ]] && kill "$svc_pid" 2>/dev/null; rm -rf "$obs_tmp"' EXIT
 go run ./cmd/gpusim -workload bfs -size tiny -mmu augmented \
 	-trace "$obs_tmp/trace.json" -sample 100 -samplefile "$obs_tmp/series.csv" >/dev/null
 go run ./tools/tracecheck "$obs_tmp/trace.json"
@@ -92,6 +93,57 @@ if ! cmp -s "$obs_tmp/fig2.campaign.txt" "$obs_tmp/fig2.ckpt.txt"; then
 	echo "ci: FAIL checkpointed fig2 report differs from the cold report" >&2
 	exit 1
 fi
+
+# Service gates (DESIGN.md section 16). First: a campaign submitted to a
+# gpusimd job server must render a report byte-identical to the direct
+# -campaign invocation above — the HTTP/store path adds nothing to the
+# output. Second: after killing and restarting the server on the same
+# store directory, resubmitting the identical campaign must be served
+# entirely from the durable store (the job's dedup counter proves zero
+# re-simulation) and still render byte-identically.
+echo "== service gates (server report == direct report; restart serves from store)"
+go build -o "$obs_tmp/gpusimd" ./cmd/gpusimd
+start_gpusimd() {
+	rm -f "$obs_tmp/addr"
+	"$obs_tmp/gpusimd" -addr 127.0.0.1:0 -addrfile "$obs_tmp/addr" \
+		-store "$obs_tmp/svcstore" -j 3 -par "$host_par" >/dev/null 2>&1 &
+	svc_pid=$!
+	for _ in $(seq 1 100); do
+		[[ -s "$obs_tmp/addr" ]] && break
+		sleep 0.1
+	done
+	if [[ ! -s "$obs_tmp/addr" ]]; then
+		echo "ci: FAIL gpusimd never wrote its address file" >&2
+		exit 1
+	fi
+	svc_url="$(cat "$obs_tmp/addr")"
+}
+stop_gpusimd() {
+	kill "$svc_pid" 2>/dev/null || true
+	wait "$svc_pid" 2>/dev/null || true
+	svc_pid=""
+}
+start_gpusimd
+"$obs_tmp/gpusim" submit -server "$svc_url" -campaign examples/campaigns/fig2-tiny.yaml \
+	-report 2>"$obs_tmp/job1.json" >"$obs_tmp/fig2.server.txt"
+if ! cmp -s "$obs_tmp/fig2.campaign.txt" "$obs_tmp/fig2.server.txt"; then
+	echo "ci: FAIL server-rendered fig2 report differs from the direct -campaign report" >&2
+	exit 1
+fi
+stop_gpusimd
+start_gpusimd
+"$obs_tmp/gpusim" submit -server "$svc_url" -campaign examples/campaigns/fig2-tiny.yaml \
+	-report 2>"$obs_tmp/job2.json" >"$obs_tmp/fig2.server2.txt"
+if ! grep -q '"simulated": 0' "$obs_tmp/job2.json"; then
+	echo "ci: FAIL restarted server re-simulated a stored campaign:" >&2
+	cat "$obs_tmp/job2.json" >&2
+	exit 1
+fi
+if ! cmp -s "$obs_tmp/fig2.campaign.txt" "$obs_tmp/fig2.server2.txt"; then
+	echo "ci: FAIL store-rehydrated fig2 report differs from the direct report" >&2
+	exit 1
+fi
+stop_gpusimd
 
 # Sampling gates (DESIGN.md section 15). TestSampledAccuracyGate: sampled
 # estimates of the sim_cycles-derived metrics (IPC, TLB miss rate) must
