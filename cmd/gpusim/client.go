@@ -19,6 +19,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -115,7 +116,20 @@ func runSubmit(args []string) error {
 	}
 
 	c := service.NewClient(*server)
-	job, err := c.Submit(req)
+	// A full queue is a transient condition with an explicit server hint:
+	// back off for exactly the advertised Retry-After a few times before
+	// giving up.
+	var job *service.Job
+	var err error
+	for attempt := 0; ; attempt++ {
+		job, err = c.Submit(req)
+		var qf *service.QueueFullError
+		if err == nil || !errors.As(err, &qf) || attempt >= 4 {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "gpusim submit: %v, retrying\n", qf)
+		time.Sleep(qf.RetryAfter)
+	}
 	if err != nil {
 		return err
 	}

@@ -38,7 +38,9 @@ func main() {
 		addrFile = flag.String("addrfile", "", "write the server's base URL to this file once the listener is bound")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "default simulation workers for campaigns that don't set run.workers")
 		par      = flag.Int("par", 1, "default goroutines ticking cores inside one simulation (output is identical for any value)")
-		timeout  = flag.Duration("jobtimeout", 0, "wall-clock budget per job when the campaign sets no obs.deadline (0 = unbounded)")
+		timeout  = flag.Duration("jobtimeout", 0, "wall-clock budget per job when the campaign sets no obs.deadline (0 = unbounded); enforced even while a job waits for simulation slots")
+		jobs     = flag.Int("jobs", 0, "jobs executing concurrently (0 = GOMAXPROCS-aware default); reports are byte-identical for any value")
+		slots    = flag.Int("slots", 0, "global simulation-slot budget shared by all in-flight jobs (0 = the -j value), so jobs x workers never oversubscribes the host")
 	)
 	flag.Parse()
 
@@ -47,6 +49,8 @@ func main() {
 		Workers:     *workers,
 		CoreWorkers: *par,
 		JobTimeout:  *timeout,
+		Jobs:        *jobs,
+		Slots:       *slots,
 	})
 	if err != nil {
 		fatal("%v", err)

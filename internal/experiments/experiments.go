@@ -56,6 +56,12 @@ type Options struct {
 	// implementation so completed runs persist across processes and dedup
 	// reaches results other clients already paid for.
 	Results Results
+
+	// Simulate substitutes the executor's simulation step
+	// (Executor.Simulate): the job server installs a slot-budgeted,
+	// singleflight-coalescing wrapper here so concurrent jobs share the
+	// host fairly and never simulate the same spec twice at once.
+	Simulate func(RunSpec, func(RunSpec) *RunResult) *RunResult
 }
 
 func (o *Options) fill() {
@@ -106,6 +112,7 @@ func New(out io.Writer, opt Options) *Harness {
 			Obs:         opt.Obs,
 			Checkpoint:  opt.Checkpoint,
 			Sampling:    opt.Sampling,
+			Simulate:    opt.Simulate,
 		},
 	}
 }
@@ -129,7 +136,7 @@ func (h *Harness) Run(w string, cfg config.Hardware) (*stats.Sim, error) {
 	spec := h.Spec(w, cfg)
 	res, ok := h.exec.store().Get(spec)
 	if !ok {
-		h.exec.store().Put(ExecuteSampled(spec, h.opt.Size, h.opt.Seed, h.opt.CoreWorkers, h.opt.Obs, h.exec.checkpointPool(), h.exec.Sampling))
+		h.exec.store().Put(h.exec.simulate(spec))
 		// Re-read so concurrent callers converge on the canonical
 		// first-published result.
 		res, _ = h.exec.store().Get(spec)

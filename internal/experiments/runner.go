@@ -224,6 +224,15 @@ type Executor struct {
 	// sweeps can verify that cheaply (tools/ci.sh checkpoint gate).
 	Checkpoint bool
 
+	// Simulate, when non-nil, wraps the execution of every outstanding
+	// spec: it receives the spec plus the executor's default runner and
+	// returns the completed result. The job server installs a wrapper that
+	// gates each simulation on a global slot budget shared by all
+	// concurrently running jobs and coalesces identical in-flight specs
+	// across them (DESIGN.md §16.5). nil runs the default directly. The
+	// wrapper must be safe for concurrent calls from the worker pool.
+	Simulate func(spec RunSpec, run func(RunSpec) *RunResult) *RunResult
+
 	mu   sync.Mutex // serialises Progress so lines never interleave
 	done int        // completed runs, for progress numbering
 	pool *snapshot.Pool
@@ -268,6 +277,20 @@ func (e *Executor) store() Results {
 	return e.Store
 }
 
+// simulate executes one spec through the Simulate wrapper when one is
+// installed, or the default runner otherwise. Both the worker pool and
+// the harness's inline fallback come through here, so a scheduler-aware
+// wrapper sees every simulation the executor ever starts.
+func (e *Executor) simulate(spec RunSpec) *RunResult {
+	run := func(s RunSpec) *RunResult {
+		return ExecuteSampled(s, e.Size, e.Seed, e.CoreWorkers, e.Obs, e.checkpointPool(), e.Sampling)
+	}
+	if e.Simulate != nil {
+		return e.Simulate(spec, run)
+	}
+	return run(spec)
+}
+
 // Execute runs every spec in the plan that the store has no result for
 // yet, fanning the work across the executor's goroutine pool, and blocks
 // until all of them have completed. Per-run failures are captured in the
@@ -289,7 +312,6 @@ func (e *Executor) Execute(p *Plan) int {
 	if nw > len(todo) {
 		nw = len(todo)
 	}
-	pool := e.checkpointPool()
 	jobs := make(chan RunSpec)
 	var wg sync.WaitGroup
 	for i := 0; i < nw; i++ {
@@ -297,7 +319,7 @@ func (e *Executor) Execute(p *Plan) int {
 		go func() {
 			defer wg.Done()
 			for spec := range jobs {
-				res := ExecuteSampled(spec, e.Size, e.Seed, e.CoreWorkers, e.Obs, pool, e.Sampling)
+				res := e.simulate(spec)
 				st.Put(res)
 				e.logProgress(res, len(todo))
 			}

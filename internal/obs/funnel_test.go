@@ -70,6 +70,102 @@ func TestFunnelCancel(t *testing.T) {
 	}
 }
 
+// TestFunnelMultiJobFanOut models the concurrent job server: many
+// producers (one per in-flight job, each with its own source label)
+// publishing into one funnel that several SSE subscribers drain. Roomy
+// subscribers must receive every tick exactly once with per-source
+// monotonic progress; a never-drained buffer-1 subscriber must end up
+// with exactly one buffered tick and zero publisher stalls; subscriber
+// churn during the storm must not disturb either. All under -race.
+func TestFunnelMultiJobFanOut(t *testing.T) {
+	const producers, ticksPer, subscribers = 8, 200, 4
+	f := NewFunnel()
+
+	// Roomy subscribers: buffers sized for the whole storm, so the
+	// never-block contract implies zero drops and exact delivery.
+	chans := make([]<-chan Tick, subscribers)
+	for i := range chans {
+		ch, cancel := f.Subscribe(producers * ticksPer)
+		defer cancel()
+		chans[i] = ch
+	}
+	// The laggard: buffer 1, never drained while producers run.
+	slow, cancelSlow := f.Subscribe(1)
+	defer cancelSlow()
+
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			src := sourceName(p)
+			for i := 1; i <= ticksPer; i++ {
+				f.Publish(src, Progress{Cycle: uint64(i)})
+			}
+		}(p)
+	}
+	// Churners: subscribers connecting and disconnecting mid-storm, the
+	// way SSE clients come and go while jobs run.
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ch, cancel := f.Subscribe(2)
+				select {
+				case <-ch:
+				default:
+				}
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+
+	for si, ch := range chans {
+		last := make(map[string]uint64, producers)
+		count := 0
+	drain:
+		for {
+			select {
+			case tick := <-ch:
+				count++
+				if tick.Progress.Cycle <= last[tick.Source] {
+					t.Fatalf("sub %d: source %s went backwards: %d after %d",
+						si, tick.Source, tick.Progress.Cycle, last[tick.Source])
+				}
+				last[tick.Source] = tick.Progress.Cycle
+			default:
+				break drain
+			}
+		}
+		if count != producers*ticksPer {
+			t.Fatalf("sub %d received %d ticks, want %d", si, count, producers*ticksPer)
+		}
+		for p := 0; p < producers; p++ {
+			if last[sourceName(p)] != ticksPer {
+				t.Fatalf("sub %d: source %s ended at %d, want %d",
+					si, sourceName(p), last[sourceName(p)], ticksPer)
+			}
+		}
+	}
+	// The laggard holds exactly its buffer: one tick, the rest dropped.
+	if tick, ok := <-slow; !ok || tick.Progress.Cycle == 0 {
+		t.Fatalf("slow subscriber's buffered tick: %+v ok=%v", tick, ok)
+	}
+	select {
+	case tick := <-slow:
+		t.Fatalf("slow subscriber got a second tick: %+v", tick)
+	default:
+	}
+	// Only the test's own subscriptions remain; churners all cancelled.
+	if n := f.Subscribers(); n != subscribers+1 {
+		t.Fatalf("Subscribers() = %d, want %d", n, subscribers+1)
+	}
+}
+
+func sourceName(p int) string { return "job" + string(rune('A'+p)) + "|wl" }
+
 // TestFunnelConcurrent: one publisher against subscribers that churn
 // (subscribe, drain a little, cancel) from several goroutines — the
 // sends-only-under-lock design must survive -race with closes in flight.

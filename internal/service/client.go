@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -36,8 +37,22 @@ func (c *Client) http() *http.Client {
 	return http.DefaultClient
 }
 
+// QueueFullError is the typed rejection a full job queue returns:
+// RetryAfter carries the server's Retry-After hint, so clients can back
+// off for exactly as long as the server suggests instead of guessing.
+// Detect it with errors.As.
+type QueueFullError struct {
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *QueueFullError) Error() string {
+	return fmt.Sprintf("service: %s (retry after %v)", e.Message, e.RetryAfter)
+}
+
 // do issues one request and decodes the JSON response into out (skipped
-// when out is nil). Non-2xx responses return the server's error message.
+// when out is nil). Non-2xx responses return the server's error message;
+// a 503 with a Retry-After header becomes a *QueueFullError.
 func (c *Client) do(method, path string, body, out any) error {
 	var rd io.Reader
 	if body != nil {
@@ -67,10 +82,18 @@ func (c *Client) do(method, path string, body, out any) error {
 		var e struct {
 			Error string `json:"error"`
 		}
+		msg := fmt.Sprintf("HTTP %d", resp.StatusCode)
 		if json.Unmarshal(data, &e) == nil && e.Error != "" {
-			return fmt.Errorf("service: %s %s: %s", method, path, e.Error)
+			msg = e.Error
 		}
-		return fmt.Errorf("service: %s %s: HTTP %d", method, path, resp.StatusCode)
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil {
+					return &QueueFullError{Message: msg, RetryAfter: time.Duration(secs) * time.Second}
+				}
+			}
+		}
+		return fmt.Errorf("service: %s %s: %s", method, path, msg)
 	}
 	if out == nil {
 		return nil

@@ -49,11 +49,16 @@ type Job struct {
 
 	// Total counts the unique simulations the job needs; Simulated the ones
 	// this execution actually ran; FromStore the ones served from the
-	// durable store. Total = Simulated + FromStore when the job is done —
-	// a resubmitted identical job reports Simulated == 0.
+	// durable store; Coalesced the ones adopted from another job's
+	// concurrent in-flight simulation (singleflight, scheduler.go). Total =
+	// Simulated + FromStore + Coalesced when the job is done — a
+	// resubmitted identical job reports Simulated == 0, and two identical
+	// jobs in flight together report Simulated + Coalesced split across
+	// them instead of simulating twice.
 	Total     int `json:"total"`
 	Simulated int `json:"simulated"`
 	FromStore int `json:"fromStore"`
+	Coalesced int `json:"coalesced"`
 	// Failures counts runs that completed with an error.
 	Failures int `json:"failures,omitempty"`
 
@@ -227,8 +232,11 @@ func (m *Manifest) Jobs() []*Job {
 	return out
 }
 
-// Resumable returns the IDs of pending jobs, oldest first — the queue a
-// restarted server re-enqueues.
+// Resumable returns the IDs of pending jobs in their original submission
+// order (Jobs sorts by the numeric job ID, which NewJob assigns
+// monotonically and replay never reuses) — the order a restarted server
+// re-enqueues them in, regardless of how the journal's records were
+// interleaved on disk.
 func (m *Manifest) Resumable() []string {
 	var ids []string
 	for _, j := range m.Jobs() {

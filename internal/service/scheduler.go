@@ -1,0 +1,174 @@
+// The concurrent job scheduler's shared machinery: a global
+// simulation-slot budget and a singleflight table for identical in-flight
+// runs. The server runs -jobs runner goroutines, each executing one job's
+// campaign through the experiments pipeline; every individual simulation
+// any of them starts must first pass through here, so
+//
+//   - at most `slots` simulations ever run at once, no matter how many
+//     jobs are in flight or how wide each job's own -j pool is
+//     (jobs × run.workers never oversubscribes the host), and
+//   - two jobs needing the same Result Key while neither has finished it
+//     share one simulation: the first becomes the flight's winner and
+//     simulates, the rest wait and adopt the winner's result (counted as
+//     `coalesced` in their manifests). The durable store only dedups
+//     *completed* work; the flight table dedups work *in progress*.
+//
+// A flight whose winner was aborted (job timeout or cancellation) is not
+// adopted: the winner's deadline is not the waiter's, so the waiter
+// retries and becomes the new winner. Deterministic simulation failures
+// are adopted — rerunning the same spec would fail identically.
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"gpummu/internal/experiments"
+	"gpummu/internal/obs"
+)
+
+// clock abstracts the scheduler's time source so tests drive job timeouts
+// deterministically with a fake clock instead of sleeping.
+type clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// After returns a channel that receives once d has elapsed, plus a stop
+	// function releasing the timer early.
+	After(d time.Duration) (<-chan time.Time, func())
+}
+
+// realClock is the production clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) After(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTimer(d)
+	return t.C, func() { t.Stop() }
+}
+
+// flight is one in-progress simulation other jobs can coalesce onto.
+type flight struct {
+	done    chan struct{}
+	res     *experiments.RunResult
+	waiters int
+}
+
+// scheduler owns the global slot budget and the flight table. One
+// scheduler is shared by every runner goroutine of a server.
+type scheduler struct {
+	slots chan struct{}
+
+	mu          sync.Mutex
+	flights     map[string]*flight
+	slotWaiters int
+}
+
+// newScheduler returns a scheduler with the given simulation-slot budget
+// (minimum 1).
+func newScheduler(slots int) *scheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	return &scheduler{
+		slots:   make(chan struct{}, slots),
+		flights: make(map[string]*flight),
+	}
+}
+
+// acquire blocks until a simulation slot is free or ctx is done.
+func (s *scheduler) acquire(ctx context.Context) error {
+	select {
+	case s.slots <- struct{}{}: // fast path: a slot is free right now
+		return nil
+	default:
+	}
+	s.mu.Lock()
+	s.slotWaiters++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.slotWaiters--
+		s.mu.Unlock()
+	}()
+	select {
+	case s.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns a slot taken by acquire.
+func (s *scheduler) release() { <-s.slots }
+
+// aborted reports whether res is the debris of a cancelled or timed-out
+// run rather than a deterministic outcome: such results must not be
+// adopted by other jobs (the winner's budget is not theirs).
+func aborted(res *experiments.RunResult) bool {
+	if res == nil {
+		return true
+	}
+	return errors.Is(res.Err, obs.ErrDeadline) ||
+		errors.Is(res.Err, context.Canceled) ||
+		errors.Is(res.Err, context.DeadlineExceeded)
+}
+
+// do runs fn under singleflight for key. The first caller for a key is
+// the winner and executes fn; concurrent callers with the same key block
+// until the winner finishes and adopt its result with coalesced=true.
+// If the winner's result was aborted (see aborted), a waiter retries and
+// becomes the new winner instead of adopting the debris. A non-nil error
+// means ctx expired while waiting and nothing was adopted.
+func (s *scheduler) do(ctx context.Context, key string, fn func() *experiments.RunResult) (res *experiments.RunResult, coalesced bool, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		s.mu.Lock()
+		if f, ok := s.flights[key]; ok {
+			f.waiters++
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				s.mu.Lock()
+				f.waiters--
+				s.mu.Unlock()
+				return nil, false, ctx.Err()
+			}
+			s.mu.Lock()
+			f.waiters--
+			s.mu.Unlock()
+			if aborted(f.res) {
+				continue // the winner was cancelled, not the simulation: retry
+			}
+			return f.res, true, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.mu.Unlock()
+
+		f.res = fn()
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+		return f.res, false, nil
+	}
+}
+
+// stats reports the scheduler's instantaneous occupancy: flights in
+// progress, jobs waiting on those flights, busy simulation slots, and
+// jobs waiting for a slot. Tests use it to pin deterministic interleaving
+// points; /v1/healthz reports it for operators.
+func (s *scheduler) stats() (flights, flightWaiters, busySlots, slotWaiters int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range s.flights {
+		flightWaiters += f.waiters
+	}
+	return len(s.flights), flightWaiters, len(s.slots), s.slotWaiters
+}

@@ -1,0 +1,286 @@
+package service
+
+// Deterministic unit tests for the concurrent job scheduler: the slot
+// budget, the cross-job singleflight table, and the fake clock that lets
+// job timeouts fire without sleeping. Every blocking point is pinned via
+// scheduler.stats() polling, so the tests drive exact interleavings
+// instead of racing timers.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"gpummu/internal/experiments"
+	"gpummu/internal/obs"
+)
+
+// fakeClock is a manually-advanced clock: After timers fire only when the
+// test calls Advance past their deadline.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*fakeTimer
+}
+
+type fakeTimer struct {
+	at    time.Time
+	ch    chan time.Time
+	fired bool
+}
+
+func newFakeClock(start time.Time) *fakeClock { return &fakeClock{now: start} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) (<-chan time.Time, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t := &fakeTimer{at: c.now.Add(d), ch: make(chan time.Time, 1)}
+	c.timers = append(c.timers, t)
+	return t.ch, func() {}
+}
+
+// Advance moves the clock forward and fires every timer whose deadline
+// has passed.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+	for _, t := range c.timers {
+		if !t.fired && !t.at.After(c.now) {
+			t.fired = true
+			t.ch <- c.now
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// okResult builds a distinguishable successful RunResult for scheduler
+// tests (no simulation involved).
+func okResult(tag string) *experiments.RunResult {
+	return &experiments.RunResult{Spec: experiments.RunSpec{Workload: tag}}
+}
+
+// TestSchedulerSlotBudget: the budget admits exactly its capacity; an
+// over-budget acquire blocks until a release or its context ends.
+func TestSchedulerSlotBudget(t *testing.T) {
+	s := newScheduler(2)
+	ctx := context.Background()
+	if err := s.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	blocked, cancel := context.WithCancel(ctx)
+	errc := make(chan error, 1)
+	go func() { errc <- s.acquire(blocked) }()
+	waitFor(t, "third acquire to block", func() bool {
+		_, _, busy, waiters := s.stats()
+		return busy == 2 && waiters == 1
+	})
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled acquire returned %v, want context.Canceled", err)
+	}
+
+	s.release()
+	if err := s.acquire(ctx); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	s.release()
+	s.release()
+	if _, _, busy, waiters := s.stats(); busy != 0 || waiters != 0 {
+		t.Fatalf("slots not drained: busy=%d waiters=%d", busy, waiters)
+	}
+}
+
+// TestSchedulerSingleflight: concurrent do calls for one key run the
+// function exactly once; waiters adopt the winner's result and report
+// coalesced.
+func TestSchedulerSingleflight(t *testing.T) {
+	s := newScheduler(1)
+	ctx := context.Background()
+	gate := make(chan struct{})
+	want := okResult("winner")
+
+	type out struct {
+		res       *experiments.RunResult
+		coalesced bool
+		err       error
+	}
+	results := make(chan out, 3)
+	go func() {
+		res, co, err := s.do(ctx, "k", func() *experiments.RunResult {
+			<-gate
+			return want
+		})
+		results <- out{res, co, err}
+	}()
+	waitFor(t, "winner flight", func() bool {
+		flights, _, _, _ := s.stats()
+		return flights == 1
+	})
+	for i := 0; i < 2; i++ {
+		go func() {
+			res, co, err := s.do(ctx, "k", func() *experiments.RunResult {
+				t.Error("waiter executed the flight function")
+				return okResult("waiter")
+			})
+			results <- out{res, co, err}
+		}()
+	}
+	waitFor(t, "two flight waiters", func() bool {
+		_, waiters, _, _ := s.stats()
+		return waiters == 2
+	})
+	close(gate)
+
+	var coalesced, winners int
+	for i := 0; i < 3; i++ {
+		o := <-results
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.res != want {
+			t.Fatalf("result not shared: got %p want %p", o.res, want)
+		}
+		if o.coalesced {
+			coalesced++
+		} else {
+			winners++
+		}
+	}
+	if winners != 1 || coalesced != 2 {
+		t.Fatalf("winners=%d coalesced=%d, want 1/2", winners, coalesced)
+	}
+	if flights, waiters, _, _ := s.stats(); flights != 0 || waiters != 0 {
+		t.Fatalf("flight table not empty: flights=%d waiters=%d", flights, waiters)
+	}
+}
+
+// TestSchedulerAbortedWinnerNotAdopted: a flight whose winner was
+// cancelled (job timeout) must not poison waiters — the waiter retries
+// and becomes the new winner. Deterministic failures ARE adopted.
+func TestSchedulerAbortedWinnerNotAdopted(t *testing.T) {
+	s := newScheduler(1)
+	ctx := context.Background()
+	gate := make(chan struct{})
+	abortRes := &experiments.RunResult{Err: fmt.Errorf("%w: killed", obs.ErrDeadline)}
+
+	go s.do(ctx, "k", func() *experiments.RunResult {
+		<-gate
+		return abortRes
+	})
+	waitFor(t, "aborting winner's flight", func() bool {
+		flights, _, _, _ := s.stats()
+		return flights == 1
+	})
+
+	retried := make(chan *experiments.RunResult, 1)
+	good := okResult("retry")
+	go func() {
+		res, co, err := s.do(ctx, "k", func() *experiments.RunResult { return good })
+		if err != nil {
+			t.Error(err)
+		}
+		if co {
+			t.Error("retry after aborted winner reported coalesced")
+		}
+		retried <- res
+	}()
+	waitFor(t, "retrier waiting on the doomed flight", func() bool {
+		_, waiters, _, _ := s.stats()
+		return waiters == 1
+	})
+	close(gate)
+	if res := <-retried; res != good {
+		t.Fatalf("waiter adopted aborted result %v", res.Err)
+	}
+
+	// A deterministic failure, by contrast, is shared.
+	detErr := &experiments.RunResult{Err: errors.New("functional check: wrong sum")}
+	gate2 := make(chan struct{})
+	go s.do(ctx, "k2", func() *experiments.RunResult { <-gate2; return detErr })
+	waitFor(t, "failing winner's flight", func() bool {
+		flights, _, _, _ := s.stats()
+		return flights == 1
+	})
+	adopted := make(chan *experiments.RunResult, 1)
+	go func() {
+		res, co, err := s.do(ctx, "k2", func() *experiments.RunResult {
+			t.Error("deterministic failure re-simulated")
+			return nil
+		})
+		if err != nil || !co {
+			t.Errorf("adoption err=%v coalesced=%v", err, co)
+		}
+		adopted <- res
+	}()
+	waitFor(t, "adopter waiting", func() bool {
+		_, waiters, _, _ := s.stats()
+		return waiters == 1
+	})
+	close(gate2)
+	if res := <-adopted; res != detErr {
+		t.Fatal("deterministic failure not adopted")
+	}
+}
+
+// TestSchedulerDoRespectsContext: a cancelled context aborts both a
+// fresh do and a waiter mid-flight without running anything.
+func TestSchedulerDoRespectsContext(t *testing.T) {
+	s := newScheduler(1)
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := s.do(dead, "k", func() *experiments.RunResult {
+		t.Error("fn ran under a dead context")
+		return nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead-context do returned %v", err)
+	}
+
+	gate := make(chan struct{})
+	go s.do(context.Background(), "k", func() *experiments.RunResult {
+		<-gate
+		return okResult("w")
+	})
+	waitFor(t, "flight", func() bool { flights, _, _, _ := s.stats(); return flights == 1 })
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.do(wctx, "k", func() *experiments.RunResult { return nil })
+		errc <- err
+	}()
+	waitFor(t, "waiter", func() bool { _, waiters, _, _ := s.stats(); return waiters == 1 })
+	wcancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v", err)
+	}
+	close(gate)
+	waitFor(t, "flight table drained", func() bool {
+		flights, waiters, _, _ := s.stats()
+		return flights == 0 && waiters == 0
+	})
+}

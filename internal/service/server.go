@@ -1,23 +1,29 @@
-// The /v1 HTTP surface and the job runner behind it. A Server owns a
-// durable Store, a journalled Manifest, and one runner goroutine: POST
-// /v1/jobs validates the submission into a canonical campaign document and
-// enqueues it; the runner expands the campaign through the existing
-// campaign → experiments pipeline with a store-backed Results
-// implementation, so every simulation the store already holds is served
-// instead of recomputed — across jobs, across clients, and across server
-// restarts. Progress ticks fan out to SSE subscribers through obs.Funnel
-// without ever blocking a simulation.
+// The /v1 HTTP surface and the job runners behind it. A Server owns a
+// durable Store, a journalled Manifest, a shared scheduler, and -jobs
+// runner goroutines: POST /v1/jobs validates the submission into a
+// canonical campaign document and enqueues it; a runner expands the
+// campaign through the existing campaign → experiments pipeline with a
+// store-backed Results implementation, so every simulation the store
+// already holds is served instead of recomputed — across jobs, across
+// clients, and across server restarts. Jobs run concurrently, but every
+// simulation they start is gated on one global slot budget and identical
+// in-flight specs are coalesced across jobs (scheduler.go), so reports
+// stay byte-identical to serial execution. Progress ticks fan out to SSE
+// subscribers through obs.Funnel without ever blocking a simulation.
 package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -42,21 +48,66 @@ type Options struct {
 	CoreWorkers int
 	// JobTimeout bounds each job's wall clock when the campaign declares no
 	// obs.deadline of its own; an overrun fails the job with state
-	// "timeout". 0 leaves jobs unbounded.
+	// "timeout". The budget is enforced even while the job is starved of
+	// simulation slots by other in-flight jobs. 0 leaves jobs unbounded.
 	JobTimeout time.Duration
 	// QueueDepth bounds the pending-job queue (default 256). A full queue
-	// rejects submissions with 503 instead of blocking the handler.
+	// rejects submissions with 503 plus a Retry-After header instead of
+	// blocking the handler.
 	QueueDepth int
+	// Jobs is how many jobs execute concurrently (the -jobs flag); 0 picks
+	// a GOMAXPROCS-aware default (capped at 4). Whatever the value, total
+	// concurrent simulations never exceed the slot budget below.
+	Jobs int
+	// Slots is the global simulation-slot budget shared by every in-flight
+	// job, so jobs × run.workers never oversubscribes the host; 0 defers
+	// to the resolved Workers value. Reports stay byte-identical for any
+	// Jobs/Slots combination.
+	Slots int
+
+	// clk substitutes the scheduler's time source (tests); nil uses the
+	// real clock.
+	clk clock
 }
 
-// Server is the gpusimd job server: an http.Handler plus the runner that
-// executes submitted jobs sequentially (each job parallelises internally
-// across its campaign's -j workers).
+// jobs resolves the concurrent-job count.
+func (o Options) jobs() int {
+	if o.Jobs > 0 {
+		return o.Jobs
+	}
+	n := runtime.GOMAXPROCS(0)
+	if n > 4 {
+		n = 4
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// slots resolves the global simulation-slot budget.
+func (o Options) slots() int {
+	if o.Slots > 0 {
+		return o.Slots
+	}
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Server is the gpusimd job server: an http.Handler plus -jobs runner
+// goroutines executing queued jobs concurrently. Each job parallelises
+// internally across its campaign's -j workers, but every simulation any
+// job starts is gated on one shared slot budget, and identical in-flight
+// specs are coalesced across jobs (scheduler.go).
 type Server struct {
 	opt      Options
 	store    Store
 	manifest *Manifest
 	funnel   *obs.Funnel
+	sched    *scheduler
+	clock    clock
 	mux      *http.ServeMux
 	queue    chan string
 	done     chan struct{}
@@ -67,8 +118,9 @@ type Server struct {
 }
 
 // NewServer opens the server state in opt.Dir (creating it if needed),
-// requeues any jobs a previous process left unfinished, and starts the
-// runner. Close releases everything.
+// requeues any jobs a previous process left unfinished — in their
+// original submission order — and starts the runner pool. Close drains
+// everything.
 func NewServer(opt Options) (*Server, error) {
 	if opt.QueueDepth <= 0 {
 		opt.QueueDepth = 256
@@ -85,32 +137,46 @@ func NewServer(opt Options) (*Server, error) {
 		store.Close()
 		return nil, err
 	}
+	clk := opt.clk
+	if clk == nil {
+		clk = realClock{}
+	}
+	// The queue must hold every interrupted job a previous process left
+	// behind: dropping one on requeue would strand it pending forever.
+	resumable := manifest.Resumable()
+	depth := opt.QueueDepth
+	if len(resumable) > depth {
+		depth = len(resumable)
+	}
 	s := &Server{
 		opt:      opt,
 		store:    store,
 		manifest: manifest,
 		funnel:   obs.NewFunnel(),
-		queue:    make(chan string, opt.QueueDepth),
+		sched:    newScheduler(opt.slots()),
+		clock:    clk,
+		queue:    make(chan string, depth),
 		done:     make(chan struct{}),
 		reports:  make(map[string][]byte),
 	}
 	s.routes()
-	// Requeue what the previous process never finished: the durable store
-	// already holds every simulation those jobs completed, so the re-run
-	// only pays for the remainder.
-	for _, id := range manifest.Resumable() {
-		select {
-		case s.queue <- id:
-		default:
-		}
+	// Requeue what the previous process never finished, oldest submission
+	// first (Resumable is ordered by job ID): the durable store already
+	// holds every simulation those jobs completed, so the re-run only pays
+	// for the remainder.
+	for _, id := range resumable {
+		s.queue <- id
 	}
-	s.wg.Add(1)
-	go s.runLoop()
+	for i := 0; i < opt.jobs(); i++ {
+		s.wg.Add(1)
+		go s.runLoop()
+	}
 	return s, nil
 }
 
-// Close stops the runner after its current job and releases the store and
-// manifest.
+// Close gracefully drains the runner pool — each runner finishes the job
+// it is executing, queued jobs stay pending for the next process — and
+// releases the store and manifest.
 func (s *Server) Close() error {
 	close(s.done)
 	s.wg.Wait()
@@ -191,7 +257,21 @@ func (r *SubmitRequest) campaign() (*campaign.Campaign, string, error) {
 func (s *Server) routes() {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeObj(w, http.StatusOK, map[string]any{"ok": true, "jobs": len(s.manifest.Jobs()), "results": s.store.Len()})
+		flights, flightWaiters, busy, slotWaiters := s.sched.stats()
+		writeObj(w, http.StatusOK, map[string]any{
+			"ok":      true,
+			"jobs":    len(s.manifest.Jobs()),
+			"results": s.store.Len(),
+			"runners": s.opt.jobs(),
+			"queued":  len(s.queue),
+			"scheduler": map[string]int{
+				"slots":         s.opt.slots(),
+				"busySlots":     busy,
+				"slotWaiters":   slotWaiters,
+				"flights":       flights,
+				"flightWaiters": flightWaiters,
+			},
+		})
 	})
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
@@ -243,11 +323,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			j.State = StateFailed
 			j.Error = "job queue full"
 		})
+		// Retry-After tells well-behaved clients when resubmitting is worth
+		// trying: one slot turnover is the soonest the queue can drain.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
 		writeErr(w, http.StatusServiceUnavailable, "job queue full")
 		return
 	}
 	writeObj(w, http.StatusCreated, job)
 }
+
+// retryAfterSeconds is the Retry-After hint on queue-full 503 responses.
+const retryAfterSeconds = 1
 
 // handleReport streams a finished job's rendered report.
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -496,7 +582,9 @@ func (s *Server) handleBest(w http.ResponseWriter, r *http.Request) {
 	writeObj(w, http.StatusOK, map[string]any{"metric": metric, "value": bestVal, "result": best})
 }
 
-// runLoop executes queued jobs one at a time until Close.
+// runLoop is one job runner: it executes queued jobs until Close. The
+// server starts opt.jobs() of these; jobs dequeue in submission order and
+// run concurrently, sharing the scheduler's slot budget and flight table.
 func (s *Server) runLoop() {
 	defer s.wg.Done()
 	for {
@@ -512,8 +600,11 @@ func (s *Server) runLoop() {
 // runCache adapts the durable store to the executor's Results interface
 // for one job: Get falls through to the durable store (rehydrating hits
 // into the in-memory run store and counting them as FromStore), Put
-// publishes to both and counts a fresh simulation. The dedup counters are
-// how the manifest proves a resubmitted identical job recomputed nothing.
+// publishes to both. The Simulated/Coalesced counters are fed by the
+// server's scheduler wrapper — Simulated counts runs this job's flights
+// won, Coalesced counts specs adopted from another job's concurrent
+// flight. Total = Simulated + FromStore + Coalesced when the job is done,
+// which is how the manifest proves no simulation ever ran twice.
 type runCache struct {
 	mem     *experiments.ResultStore
 	durable Store
@@ -524,6 +615,19 @@ type runCache struct {
 	mu        sync.Mutex
 	simulated int
 	fromStore int
+	coalesced int
+}
+
+func (c *runCache) addSimulated() {
+	c.mu.Lock()
+	c.simulated++
+	c.mu.Unlock()
+}
+
+func (c *runCache) addCoalesced() {
+	c.mu.Lock()
+	c.coalesced++
+	c.mu.Unlock()
 }
 
 func (c *runCache) Get(spec experiments.RunSpec) (*experiments.RunResult, bool) {
@@ -544,22 +648,21 @@ func (c *runCache) Get(spec experiments.RunSpec) (*experiments.RunResult, bool) 
 
 func (c *runCache) Put(res *experiments.RunResult) {
 	c.mem.Put(res)
-	c.mu.Lock()
-	c.simulated++
-	c.mu.Unlock()
 	if res.Err == nil {
 		// Persistence failures must not fail the run: the result is still
-		// served from memory, it just won't survive a restart.
+		// served from memory, it just won't survive a restart. Writes are
+		// once-per-key, so a coalesced result arriving from two jobs is
+		// persisted exactly once.
 		c.durable.Put(FromRun(res, c.size, c.seed, c.plan))
 	}
 }
 
-func (c *runCache) Len() int                          { return c.mem.Len() }
-func (c *runCache) Failed() []*experiments.RunResult  { return c.mem.Failed() }
-func (c *runCache) counts() (simulated, fromStore int) {
+func (c *runCache) Len() int                         { return c.mem.Len() }
+func (c *runCache) Failed() []*experiments.RunResult { return c.mem.Failed() }
+func (c *runCache) counts() (simulated, fromStore, coalesced int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.simulated, c.fromStore
+	return c.simulated, c.fromStore, c.coalesced
 }
 
 // runJob executes one manifest job end to end: expand the canonical
@@ -580,12 +683,13 @@ func (s *Server) runJob(id string) {
 		j.Finished = time.Now().UTC().Format(time.RFC3339)
 		j.Total = total
 		if cache != nil {
-			j.Simulated, j.FromStore = cache.counts()
+			j.Simulated, j.FromStore, j.Coalesced = cache.counts()
 			j.Failures = len(cache.Failed())
 		}
 		if err != nil {
 			j.State = StateFailed
-			if errors.Is(err, obs.ErrDeadline) {
+			if errors.Is(err, obs.ErrDeadline) || errors.Is(err, context.Canceled) ||
+				errors.Is(err, context.DeadlineExceeded) {
 				j.State = StateTimeout
 			}
 			j.Error = err.Error()
@@ -619,7 +723,28 @@ func (s *Server) execute(job *Job) (report []byte, cache *runCache, total int, e
 		opt.CoreWorkers = s.opt.CoreWorkers
 	}
 	if opt.Obs.Deadline.IsZero() && s.opt.JobTimeout > 0 {
-		opt.Obs.Deadline = time.Now().Add(s.opt.JobTimeout)
+		opt.Obs.Deadline = s.clock.Now().Add(s.opt.JobTimeout)
+	}
+	// The job context enforces the wall-clock budget even while the job
+	// waits for simulation slots or another job's flight: obs.Deadline only
+	// fires inside a ticking simulation, so without the context a starved
+	// job's timeout would stretch with every other job in flight.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if d := opt.Obs.Deadline; !d.IsZero() {
+		if wait := d.Sub(s.clock.Now()); wait <= 0 {
+			cancel()
+		} else {
+			ch, stop := s.clock.After(wait)
+			defer stop()
+			go func() {
+				select {
+				case <-ch:
+					cancel()
+				case <-ctx.Done():
+				}
+			}()
+		}
 	}
 	jobID := job.ID
 	opt.Obs.Progress = func(spec experiments.RunSpec, p obs.Progress) {
@@ -633,6 +758,7 @@ func (s *Server) execute(job *Job) (report []byte, cache *runCache, total int, e
 		plan:    opt.Sampling,
 	}
 	opt.Results = cache
+	opt.Simulate = s.scheduled(ctx, cache)
 
 	figs, figErr := camp.ExpandFigures()
 	if figErr == nil {
@@ -659,6 +785,7 @@ func (s *Server) execute(job *Job) (report []byte, cache *runCache, total int, e
 		Obs:         opt.Obs,
 		Checkpoint:  opt.Checkpoint,
 		Sampling:    opt.Sampling,
+		Simulate:    opt.Simulate,
 	}
 	plan := experiments.NewPlan()
 	for _, w := range opt.Workload {
@@ -690,6 +817,58 @@ func (s *Server) execute(job *Job) (report []byte, cache *runCache, total int, e
 		return nil, cache, plan.Len(), merr
 	}
 	return append(body, '\n'), cache, plan.Len(), errors.Join(failures...)
+}
+
+// scheduled builds the Executor.Simulate wrapper for one job: every
+// simulation the job's executor wants first goes through the shared
+// scheduler — singleflight on the canonical Result Key (so two jobs
+// needing the same spec while neither has finished it run it once), then
+// a slot acquisition (so concurrent jobs never oversubscribe the host).
+// The wrapper also feeds the job's dedup counters: flights this job won
+// count as simulated, flights it adopted count as coalesced.
+func (s *Server) scheduled(ctx context.Context, cache *runCache) func(experiments.RunSpec, func(experiments.RunSpec) *experiments.RunResult) *experiments.RunResult {
+	return func(spec experiments.RunSpec, run func(experiments.RunSpec) *experiments.RunResult) *experiments.RunResult {
+		// Another job may have finished this spec after this one planned it:
+		// the durable store is the tiebreak (counted as fromStore).
+		if res, ok := cache.Get(spec); ok {
+			return res
+		}
+		key := Key(spec.Workload, cache.size, cache.seed, spec.Config, cache.plan)
+		res, coalesced, err := s.sched.do(ctx, key, func() *experiments.RunResult {
+			if err := s.sched.acquire(ctx); err != nil {
+				return abortedResult(spec, err)
+			}
+			defer s.sched.release()
+			cache.addSimulated()
+			res := run(spec)
+			if res.Err == nil {
+				// Persist while the flight is still open: any job that
+				// misses the flight must find the envelope in the durable
+				// store, otherwise there would be a window in which the
+				// same spec simulates twice.
+				cache.durable.Put(FromRun(res, cache.size, cache.seed, cache.plan))
+			}
+			return res
+		})
+		if err != nil {
+			return abortedResult(spec, err)
+		}
+		if coalesced {
+			cache.addCoalesced()
+		}
+		return res
+	}
+}
+
+// abortedResult wraps a job-budget abort (context cancellation while
+// waiting for a slot or a flight) as a RunResult carrying obs.ErrDeadline,
+// so runJob classifies the job as timed out through the same path an
+// in-simulation deadline uses.
+func abortedResult(spec experiments.RunSpec, cause error) *experiments.RunResult {
+	return &experiments.RunResult{
+		Spec: spec,
+		Err:  fmt.Errorf("%w: job budget exhausted while awaiting a simulation slot (%v)", obs.ErrDeadline, cause),
+	}
 }
 
 // saveReport persists a finished job's report and returns its

@@ -1,0 +1,585 @@
+package service
+
+// Tests for the concurrent job server: many clients hammering one server
+// under -race, byte-identity of every report against serial execution,
+// cross-job singleflight proven by the coalesced counters, fake-clock job
+// timeouts that other in-flight jobs cannot stretch, queue-full backoff,
+// and restart requeue ordering. Interleavings are pinned by polling
+// scheduler.stats(), never by sleeping and hoping.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gpummu/internal/campaign"
+	"gpummu/internal/experiments"
+)
+
+// waitForJob polls the manifest until the job reaches a terminal state.
+func waitForJob(t *testing.T, srv *Server, id string) *Job {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		j, ok := srv.Manifest().Job(id)
+		if ok {
+			switch j.State {
+			case StateDone, StateFailed, StateTimeout:
+				return j
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never finished: %+v", id, j)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerConcurrentClientsByteIdentity is the hammer test: three
+// clients submit the same campaign to a server running three jobs over a
+// two-slot budget. Every report must be byte-identical to a direct serial
+// harness run, the three jobs together must simulate each unique spec
+// exactly once, and the overlap must be visible as coalesced flights.
+func TestServerConcurrentClientsByteIdentity(t *testing.T) {
+	doc := `apiVersion: gpummu/v1
+name: fig2-tiny-test
+machine: small
+workloads:
+  names: [pointerchase, kmeans]
+  size: tiny
+figures: [fig2]
+`
+	camp, err := campaign.Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := camp.HarnessOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	figs, err := camp.ExpandFigures()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	if err := experiments.RunFigures(experiments.New(&want, opt), figs); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := NewServer(Options{Jobs: 3, Workers: 2, Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Hold both simulation slots so every job parks at a known point: the
+	// first job's two workers become flight winners blocked on a slot, the
+	// other two jobs' workers pile onto those flights as waiters.
+	ctx := context.Background()
+	if err := srv.sched.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.sched.acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	ids := make([]string, 3)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job, err := NewClient(ts.URL).SubmitCampaign([]byte(doc))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = job.ID
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	waitFor(t, "all three jobs parked on two flights", func() bool {
+		flights, flightWaiters, _, slotWaiters := srv.sched.stats()
+		return flights == 2 && flightWaiters == 4 && slotWaiters == 2
+	})
+
+	// The pinned state must be visible to operators through /v1/healthz.
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		OK        bool `json:"ok"`
+		Runners   int  `json:"runners"`
+		Scheduler struct {
+			Slots         int `json:"slots"`
+			BusySlots     int `json:"busySlots"`
+			SlotWaiters   int `json:"slotWaiters"`
+			Flights       int `json:"flights"`
+			FlightWaiters int `json:"flightWaiters"`
+		} `json:"scheduler"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !health.OK || health.Runners != 3 || health.Scheduler.Slots != 2 ||
+		health.Scheduler.BusySlots != 2 || health.Scheduler.SlotWaiters != 2 ||
+		health.Scheduler.Flights != 2 || health.Scheduler.FlightWaiters != 4 {
+		t.Fatalf("healthz under load: %+v", health)
+	}
+
+	srv.sched.release()
+	srv.sched.release()
+
+	var simulated, fromStore, coalesced int
+	var total int
+	for _, id := range ids {
+		j := waitForJob(t, srv, id)
+		if j.State != StateDone {
+			t.Fatalf("job %s finished %s: %s", id, j.State, j.Error)
+		}
+		if total == 0 {
+			total = j.Total
+		}
+		if j.Total != total {
+			t.Fatalf("job %s total %d, others %d", id, j.Total, total)
+		}
+		if got := j.Simulated + j.FromStore + j.Coalesced; got != j.Total {
+			t.Fatalf("job %s counters don't add up: %d+%d+%d != %d",
+				id, j.Simulated, j.FromStore, j.Coalesced, j.Total)
+		}
+		simulated += j.Simulated
+		fromStore += j.FromStore
+		coalesced += j.Coalesced
+		report, err := NewClient(ts.URL).Report(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(report) != want.String() {
+			t.Fatalf("job %s report differs from serial harness run", id)
+		}
+	}
+	// Three identical jobs, one simulation per unique spec — globally.
+	if simulated != total {
+		t.Fatalf("unique specs simulated %d times, want %d (fromStore %d coalesced %d)",
+			simulated, total, fromStore, coalesced)
+	}
+	// The four pinned flight waiters all adopted a winner's run.
+	if coalesced < 4 {
+		t.Fatalf("coalesced = %d, want >= 4", coalesced)
+	}
+}
+
+// TestJobTimeoutUnderConcurrency: a job's -jobtimeout budget keeps
+// running while other jobs hold every simulation slot — a starved job
+// times out on its own clock instead of borrowing everyone else's, lands
+// in state timeout with nothing simulated, and its aborted flight is not
+// adopted by a later identical job.
+func TestJobTimeoutUnderConcurrency(t *testing.T) {
+	fc := newFakeClock(time.Now())
+	srv, err := NewServer(Options{Jobs: 2, Workers: 1, Slots: 1, JobTimeout: time.Minute, clk: fc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	// Another job owns the only slot for the duration.
+	if err := srv.sched.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req := SubmitRequest{Workloads: []string{"pointerchase"}, Size: "tiny", Seed: 1, Machine: "small"}
+	job, err := c.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "starved job to wait for a slot", func() bool {
+		_, _, _, slotWaiters := srv.sched.stats()
+		return slotWaiters >= 1
+	})
+
+	fc.Advance(2 * time.Minute)
+	got := waitForJob(t, srv, job.ID)
+	if got.State != StateTimeout {
+		t.Fatalf("starved job finished %s (%s), want timeout", got.State, got.Error)
+	}
+	if got.Simulated != 0 || got.FromStore != 0 || got.Coalesced != 0 {
+		t.Fatalf("timed-out job counted work: %d/%d/%d", got.Simulated, got.FromStore, got.Coalesced)
+	}
+
+	// Free the slot: the same submission must now run fresh — the aborted
+	// flight left no debris in the store or the flight table.
+	srv.sched.release()
+	job2, err := c.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := waitForJob(t, srv, job2.ID)
+	if got2.State != StateDone {
+		t.Fatalf("resubmission finished %s: %s", got2.State, got2.Error)
+	}
+	if got2.Simulated != 1 || got2.FromStore != 0 {
+		t.Fatalf("resubmission counters %d/%d, want 1/0 (aborted run must not be cached)",
+			got2.Simulated, got2.FromStore)
+	}
+}
+
+// TestServerQueueFullRetryAfter: a full job queue rejects the submission
+// with 503 plus a Retry-After hint the client surfaces as a typed
+// QueueFullError, while already-queued jobs are unaffected.
+func TestServerQueueFullRetryAfter(t *testing.T) {
+	srv, err := NewServer(Options{Jobs: 1, Workers: 1, Slots: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	// Park job A on the held slot so the single runner stays busy.
+	if err := srv.sched.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req := SubmitRequest{Workloads: []string{"pointerchase"}, Size: "tiny", Seed: 1, Machine: "small"}
+	a, err := c.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job A to occupy the runner", func() bool {
+		_, _, _, slotWaiters := srv.sched.stats()
+		return slotWaiters >= 1
+	})
+	b, err := c.Submit(req) // fills the depth-1 queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Submit(req) // overflows it
+	var qf *QueueFullError
+	if !errors.As(err, &qf) {
+		t.Fatalf("overflow submission returned %v, want *QueueFullError", err)
+	}
+	if qf.RetryAfter != time.Second {
+		t.Fatalf("RetryAfter = %v, want 1s", qf.RetryAfter)
+	}
+
+	srv.sched.release()
+	if j := waitForJob(t, srv, a.ID); j.State != StateDone {
+		t.Fatalf("job A finished %s: %s", j.State, j.Error)
+	}
+	if j := waitForJob(t, srv, b.ID); j.State != StateDone {
+		t.Fatalf("queued job B finished %s: %s", j.State, j.Error)
+	}
+}
+
+// TestServerRestartRequeueOrder: pending jobs left by a dead server are
+// re-executed in their original submission order. Three identical jobs
+// prove it through the dedup counters — only the first may simulate, the
+// rest must be served from the store the first one filled.
+func TestServerRestartRequeueOrder(t *testing.T) {
+	dir := t.TempDir()
+	man, err := OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := adhocDoc(t, "pointerchase")
+	for i := 0; i < 3; i++ {
+		if _, err := man.NewJob("run", "order-test", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	man.Close()
+
+	srv, err := NewServer(Options{Dir: dir, Jobs: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for i, id := range []string{"j1", "j2", "j3"} {
+		j := waitForJob(t, srv, id)
+		if j.State != StateDone {
+			t.Fatalf("%s finished %s: %s", id, j.State, j.Error)
+		}
+		if i == 0 {
+			if j.Simulated != 1 || j.FromStore != 0 {
+				t.Fatalf("first requeued job counters %d/%d, want 1/0 — it did not run first",
+					j.Simulated, j.FromStore)
+			}
+			continue
+		}
+		if j.Simulated != 0 || j.FromStore != 1 {
+			t.Fatalf("%s counters %d/%d, want 0/1 — submission order not preserved",
+				id, j.Simulated, j.FromStore)
+		}
+	}
+}
+
+// TestManifestInterleavedReplay: a journal whose records interleave many
+// jobs — with a foreign line, a blank line, and a crash-torn tail mixed
+// in — replays to last-record-per-job state, requeues in submission
+// order, and never reuses an ID.
+func TestManifestInterleavedReplay(t *testing.T) {
+	dir := t.TempDir()
+	journal := strings.Join([]string{
+		`{"id":"j1","state":"pending","kind":"run","name":"a"}`,
+		`{"id":"j2","state":"pending","kind":"run","name":"b"}`,
+		`{"id":"j1","state":"running"}`,
+		`{"id":"j3","state":"pending","kind":"run","name":"c"}`,
+		``, // blank line: skipped
+		`{"id":"j2","state":"running"}`,
+		`{"id":"j4","state":"pending","kind":"run","name":"d"}`,
+		`{"id":"j1","state":"done","simulated":3}`,
+		`{"not":"a job record"}`, // foreign line: skipped
+		`{"id":"j4","state":"running"}`,
+		`{"id":"j2","state":"done","simulated":1,"fromStore":2}`,
+		`{"id":"j5","state":"pen`, // torn tail: dropped
+	}, "\n") + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "manifest.jsonl"), []byte(journal), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := OpenManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for id, want := range map[string]string{
+		"j1": StateDone,
+		"j2": StateDone,
+		"j3": StatePending,
+		"j4": StatePending, // interrupted mid-run: requeued
+	} {
+		j, ok := m.Job(id)
+		if !ok || j.State != want {
+			t.Fatalf("%s replayed to %+v, want state %s", id, j, want)
+		}
+	}
+	if j, _ := m.Job("j2"); j.Simulated != 1 || j.FromStore != 2 {
+		t.Fatalf("j2 lost its final counters: %+v", j)
+	}
+	if _, ok := m.Job("j5"); ok {
+		t.Fatal("torn tail record replayed")
+	}
+	// Requeue order follows submission (ID) order even though j4's records
+	// landed in the journal before j3 went back to pending.
+	if ids := m.Resumable(); len(ids) != 2 || ids[0] != "j3" || ids[1] != "j4" {
+		t.Fatalf("resumable = %v, want [j3 j4]", ids)
+	}
+	// The torn j5 line must not burn its ID slot deterministically either
+	// way — what matters is no collision with replayed jobs.
+	j, err := m.NewJob("run", "e", "doc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, used := range []string{"j1", "j2", "j3", "j4"} {
+		if j.ID == used {
+			t.Fatalf("new job reused replayed ID %s", used)
+		}
+	}
+}
+
+// TestFileStoreTornTailConcurrentWriter: a store that recovered from a
+// crash-torn tail keeps its invariants under concurrent writers and
+// readers, and the next open sees a clean journal — the tear was
+// truncated away, not left to rot mid-file.
+func TestFileStoreTornTailConcurrentWriter(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(&Result{Schema: ResultSchema, Key: fmt.Sprintf("seed%d", i), Workload: "w"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+	seg := filepath.Join(dir, "results-000001.jsonl")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"schema":"gpummu.result/v1","key":"torn","cyc`)
+	f.Close()
+
+	s2, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Skipped() != 1 || s2.Len() != 3 {
+		t.Fatalf("recovery: skipped=%d len=%d, want 1/3", s2.Skipped(), s2.Len())
+	}
+
+	// Hammer the recovered store: 8 writers appending disjoint keys while
+	// 4 readers Get/List/Len concurrently (the -race payoff).
+	const writers, perWriter, readers = 8, 25, 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r := &Result{Schema: ResultSchema, Key: fmt.Sprintf("w%d-%d", w, i), Workload: "w"}
+				if err := s2.Put(r); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := s2.Get("seed1"); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s2.List(); err != nil {
+					t.Error(err)
+					return
+				}
+				s2.Len()
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Writers finish fast; give readers their stop once writes are in.
+	waitFor(t, "all writes indexed", func() bool { return s2.Len() == 3+writers*perWriter })
+	close(stop)
+	<-done
+	if t.Failed() {
+		t.FailNow()
+	}
+	s2.Close()
+
+	// Third open: the torn line was truncated at recovery, so this journal
+	// replays clean — nothing skipped, nothing lost.
+	s3, err := OpenFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Skipped() != 0 {
+		t.Fatalf("torn tail survived recovery: skipped=%d", s3.Skipped())
+	}
+	if s3.Len() != 3+writers*perWriter {
+		t.Fatalf("len after reopen = %d, want %d", s3.Len(), 3+writers*perWriter)
+	}
+	if _, ok, _ := s3.Get("torn"); ok {
+		t.Fatal("torn record resurrected")
+	}
+	if _, ok, _ := s3.Get(fmt.Sprintf("w%d-%d", writers-1, perWriter-1)); !ok {
+		t.Fatal("concurrent write lost across reopen")
+	}
+}
+
+// TestServerEndpointsAndEvents walks the read-side API a finished job
+// leaves behind: job listing, result queries by key and workload,
+// compare, best, and the SSE event stream (which must emit the terminal
+// state immediately and close).
+func TestServerEndpointsAndEvents(t *testing.T) {
+	srv, err := NewServer(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	job, err := c.Submit(SubmitRequest{Workloads: []string{"pointerchase", "kmeans"}, Size: "tiny", Seed: 1, Machine: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j := waitForJob(t, srv, job.ID); j.State != StateDone {
+		t.Fatalf("job finished %s: %s", j.State, j.Error)
+	}
+
+	jobs, err := c.Jobs()
+	if err != nil || len(jobs) != 1 || jobs[0].ID != job.ID {
+		t.Fatalf("Jobs() = %v, %v", jobs, err)
+	}
+	all, err := c.Results("")
+	if err != nil || len(all) != 2 {
+		t.Fatalf("Results(\"\") = %d results, %v", len(all), err)
+	}
+	pc, err := c.Results("pointerchase")
+	if err != nil || len(pc) != 1 || pc[0].Workload != "pointerchase" {
+		t.Fatalf("Results(pointerchase) = %v, %v", pc, err)
+	}
+	one, err := c.Result(all[0].Key)
+	if err != nil || one.Key != all[0].Key {
+		t.Fatalf("Result(%q) = %v, %v", all[0].Key, one, err)
+	}
+	cmp, err := c.Compare(all[1].Key, all[0].Key)
+	if err != nil || len(cmp) != 2 || cmp[0].Key != all[1].Key || cmp[1].Key != all[0].Key {
+		t.Fatalf("Compare out of order: %v, %v", cmp, err)
+	}
+	best, val, err := c.Best("pointerchase", "cycles")
+	if err != nil || best == nil || val <= 0 {
+		t.Fatalf("Best(cycles) = %v, %v, %v", best, val, err)
+	}
+	if _, _, err := c.Best("pointerchase", "ipc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Result("no-such-key"); err == nil {
+		t.Error("missing key fetched")
+	}
+	if _, _, err := c.Best("pointerchase", "bogus"); err == nil {
+		t.Error("bogus metric accepted")
+	}
+
+	// SSE on a finished job: one terminal state event, then EOF.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "event: state") ||
+		!strings.Contains(string(body), `"state":"done"`) {
+		t.Fatalf("event stream missing terminal state:\n%s", body)
+	}
+	resp2, err := http.Get(ts.URL + "/v1/jobs/nope/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("events for unknown job: HTTP %d", resp2.StatusCode)
+	}
+}

@@ -39,8 +39,13 @@ type ResultSummary = service.Summary
 
 // Job is one entry in a gpusimd run manifest: a submitted campaign and
 // its execution state (pending/running/done/failed/timeout), including
-// the dedup counters (Simulated vs FromStore).
+// the dedup counters (Simulated vs FromStore vs Coalesced).
 type Job = service.Job
+
+// QueueFullError is the typed rejection a full gpusimd job queue returns;
+// its RetryAfter carries the server's backoff hint. Detect it with
+// errors.As.
+type QueueFullError = service.QueueFullError
 
 // SubmitRequest is the POST /v1/jobs body: a campaign document or
 // job-shaped (workloads, machine) fields.

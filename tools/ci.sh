@@ -106,7 +106,7 @@ go build -o "$obs_tmp/gpusimd" ./cmd/gpusimd
 start_gpusimd() {
 	rm -f "$obs_tmp/addr"
 	"$obs_tmp/gpusimd" -addr 127.0.0.1:0 -addrfile "$obs_tmp/addr" \
-		-store "$obs_tmp/svcstore" -j 3 -par "$host_par" >/dev/null 2>&1 &
+		-j 3 -par "$host_par" "$@" >/dev/null 2>&1 &
 	svc_pid=$!
 	for _ in $(seq 1 100); do
 		[[ -s "$obs_tmp/addr" ]] && break
@@ -123,7 +123,7 @@ stop_gpusimd() {
 	wait "$svc_pid" 2>/dev/null || true
 	svc_pid=""
 }
-start_gpusimd
+start_gpusimd -store "$obs_tmp/svcstore"
 "$obs_tmp/gpusim" submit -server "$svc_url" -campaign examples/campaigns/fig2-tiny.yaml \
 	-report 2>"$obs_tmp/job1.json" >"$obs_tmp/fig2.server.txt"
 if ! cmp -s "$obs_tmp/fig2.campaign.txt" "$obs_tmp/fig2.server.txt"; then
@@ -131,7 +131,7 @@ if ! cmp -s "$obs_tmp/fig2.campaign.txt" "$obs_tmp/fig2.server.txt"; then
 	exit 1
 fi
 stop_gpusimd
-start_gpusimd
+start_gpusimd -store "$obs_tmp/svcstore"
 "$obs_tmp/gpusim" submit -server "$svc_url" -campaign examples/campaigns/fig2-tiny.yaml \
 	-report 2>"$obs_tmp/job2.json" >"$obs_tmp/fig2.server2.txt"
 if ! grep -q '"simulated": 0' "$obs_tmp/job2.json"; then
@@ -141,6 +141,56 @@ if ! grep -q '"simulated": 0' "$obs_tmp/job2.json"; then
 fi
 if ! cmp -s "$obs_tmp/fig2.campaign.txt" "$obs_tmp/fig2.server2.txt"; then
 	echo "ci: FAIL store-rehydrated fig2 report differs from the direct report" >&2
+	exit 1
+fi
+stop_gpusimd
+
+# Concurrent-scheduler gate (DESIGN.md section 16.5). A -jobs 4 server on
+# a fresh store takes the same campaign from three clients at once. Every
+# report must be byte-identical to the direct run; across the three jobs
+# each unique spec must have simulated exactly once (sum of "simulated"
+# equals one job's "total"), with the overlap visible as coalesced
+# flights; and a restart must serve a fourth submission entirely from the
+# store.
+echo "== concurrency gate (-jobs 4, 3 simultaneous clients, singleflight dedup)"
+start_gpusimd -store "$obs_tmp/concstore" -jobs 4
+for i in 1 2 3; do
+	"$obs_tmp/gpusim" submit -server "$svc_url" -campaign examples/campaigns/fig2-tiny.yaml \
+		-report 2>"$obs_tmp/cjob$i.json" >"$obs_tmp/fig2.conc$i.txt" &
+	eval "client$i=$!"
+done
+wait "$client1" "$client2" "$client3"
+for i in 1 2 3; do
+	if ! cmp -s "$obs_tmp/fig2.campaign.txt" "$obs_tmp/fig2.conc$i.txt"; then
+		echo "ci: FAIL concurrent client $i report differs from the direct report" >&2
+		exit 1
+	fi
+done
+conc_total="$(grep -ho '"total": [0-9]*' "$obs_tmp/cjob1.json" | awk '{print $2}')"
+conc_sim="$(grep -ho '"simulated": [0-9]*' "$obs_tmp"/cjob[123].json | awk '{ s += $2 } END { print s }')"
+conc_coal="$(grep -ho '"coalesced": [0-9]*' "$obs_tmp"/cjob[123].json | awk '{ s += $2 } END { print s }')"
+echo "ci: concurrent jobs: total ${conc_total}, simulated ${conc_sim}, coalesced ${conc_coal}"
+if [[ -z "$conc_total" || "$conc_sim" -ne "$conc_total" ]]; then
+	echo "ci: FAIL three concurrent jobs simulated ${conc_sim} specs, want exactly ${conc_total}:" >&2
+	cat "$obs_tmp"/cjob[123].json >&2
+	exit 1
+fi
+if [[ "$conc_coal" -eq 0 ]]; then
+	echo "ci: FAIL no coalesced flights across three simultaneous identical jobs:" >&2
+	cat "$obs_tmp"/cjob[123].json >&2
+	exit 1
+fi
+stop_gpusimd
+start_gpusimd -store "$obs_tmp/concstore" -jobs 4
+"$obs_tmp/gpusim" submit -server "$svc_url" -campaign examples/campaigns/fig2-tiny.yaml \
+	-report 2>"$obs_tmp/cjob4.json" >"$obs_tmp/fig2.conc4.txt"
+if ! grep -q '"simulated": 0' "$obs_tmp/cjob4.json"; then
+	echo "ci: FAIL restarted -jobs 4 server re-simulated a stored campaign:" >&2
+	cat "$obs_tmp/cjob4.json" >&2
+	exit 1
+fi
+if ! cmp -s "$obs_tmp/fig2.campaign.txt" "$obs_tmp/fig2.conc4.txt"; then
+	echo "ci: FAIL post-restart concurrent-store report differs from the direct report" >&2
 	exit 1
 fi
 stop_gpusimd
@@ -178,9 +228,11 @@ go test -run '^$' -fuzz '^FuzzTLBVsWalk$' -fuzztime 15s ./internal/difftest
 # Coverage floor for the packages the invariant checker and differential
 # harness lean on hardest — translation hardware and the VM layer — plus
 # the two the sampled/checkpointed paths rest on: snapshot restore and the
-# interval-sampling estimators. All must stay above 80% statement coverage.
-echo "== coverage floor (internal/core, internal/vm, internal/snapshot, internal/stats >= 80%)"
-for pkg in ./internal/core ./internal/vm ./internal/snapshot ./internal/stats; do
+# interval-sampling estimators — plus the job server, whose scheduler and
+# durability guarantees are test-enforced. All must stay above 80%
+# statement coverage.
+echo "== coverage floor (internal/core, internal/vm, internal/snapshot, internal/stats, internal/service >= 80%)"
+for pkg in ./internal/core ./internal/vm ./internal/snapshot ./internal/stats ./internal/service; do
 	pct="$(go test -cover "$pkg" | awk -F'coverage: ' '/coverage:/ { split($2, a, "%"); print a[1] }')"
 	if [[ -z "$pct" ]]; then
 		echo "ci: FAIL could not parse coverage for $pkg" >&2
